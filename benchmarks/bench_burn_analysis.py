@@ -1,0 +1,46 @@
+"""SS VI-B / Fig 11: burn analysis of FAUCET's commit history.
+
+Paper: commits split Configuration 38% / Network Functionality 35% /
+External Abstraction 27%, with network functionality the central role.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro import paperdata
+from repro.gitmodel import FaucetHistoryGenerator, Subsystem, burn_distribution
+from repro.reporting import ascii_table, format_percent
+
+_PAPER_KEY = {
+    Subsystem.CONFIGURATION: "configuration",
+    Subsystem.NETWORK_FUNCTIONALITY: "network_functionality",
+    Subsystem.EXTERNAL_ABSTRACTION: "external_abstraction",
+}
+
+
+def test_bench_burn_distribution(benchmark):
+    def run():
+        history = FaucetHistoryGenerator(n_commits=3000, seed=11).generate()
+        return burn_distribution(history)
+
+    dist = once(benchmark, run)
+    rows = [
+        [
+            subsystem.value,
+            format_percent(paperdata.FAUCET_COMMIT_SHARE[_PAPER_KEY[subsystem]]),
+            format_percent(share),
+        ]
+        for subsystem, share in dist.items()
+    ]
+    print()
+    print(ascii_table(["subsystem", "paper", "measured"], rows,
+                      title="Fig 11: FAUCET commit distribution"))
+    for subsystem, share in dist.items():
+        expected = paperdata.FAUCET_COMMIT_SHARE[_PAPER_KEY[subsystem]]
+        assert abs(share - expected) < 0.04
+    assert (
+        dist[Subsystem.CONFIGURATION]
+        > dist[Subsystem.NETWORK_FUNCTIONALITY]
+        > dist[Subsystem.EXTERNAL_ABSTRACTION]
+    )

@@ -1,0 +1,111 @@
+"""SS V-A takeaway: Chaos-Monkey-style fuzz testing for SDN controllers.
+
+The paper argues reboot-class bugs persist "because testing environments
+lack representative failures and equipment" and calls for applying Chaos-
+Monkey-style fuzzing to SDNs.  This bench runs that fuzzer against three
+builds of the simulated controller:
+
+* **buggy** — all five named historical bugs present;
+* **patched** — the historical fixes applied (the default build);
+* **hardened** — patched + input-boundary validation (the paper's
+  "better error-guarding logic" recommendation).
+
+Expected shape: chaos finds the most on the buggy build; the patched build
+still crashes on *new* bug classes the named fixes never covered (malformed
+inputs, config type confusion); hardening the input boundary eliminates the
+malformed-input crash class, leaving only configuration-triggered crashes —
+the trigger class that no input filter can guard (SS VII-C's coverage gap).
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.chaos import ChaosMonkey
+from repro.faultinjection.scenario import build_scenario
+from repro.reporting import ascii_table, format_percent
+from repro.taxonomy import Symptom
+
+RUNS = 25
+
+
+def _buggy():
+    return build_scenario(
+        mirror_broadcast=False,
+        multicast_guard=False,
+        gauge_cast_types=False,
+        adapter_timeout=None,
+    )
+
+
+def _hardened():
+    return build_scenario(input_validation=True)
+
+
+def _crashes(report) -> int:
+    return sum(
+        1 for f in report.findings if f.outcome.symptom is Symptom.FAIL_STOP
+    )
+
+
+def test_bench_chaos_three_builds(benchmark):
+    def run():
+        builds = {
+            "buggy": _buggy,
+            "patched": build_scenario,
+            "hardened": _hardened,
+        }
+        return {
+            name: ChaosMonkey(factory, seed=1).run_campaign(runs=RUNS)
+            for name, factory in builds.items()
+        }
+
+    reports = once(benchmark, run)
+    rows = [
+        [
+            name,
+            format_percent(report.finding_rate),
+            _crashes(report),
+            ", ".join(sorted(s.value for s in report.symptoms_found())) or "-",
+        ]
+        for name, report in reports.items()
+    ]
+    print()
+    print(ascii_table(
+        ["build", "finding rate", "crashes", "symptoms found"], rows,
+        title=f"Chaos campaign ({RUNS} runs x 3 perturbations)",
+    ))
+    buggy, patched, hardened = (
+        reports["buggy"], reports["patched"], reports["hardened"],
+    )
+    assert buggy.finding_rate >= patched.finding_rate >= hardened.finding_rate
+    # The named patches do not stop chaos: new crash classes remain.
+    assert _crashes(patched) > 0
+    # Input-boundary validation eliminates most crashes...
+    assert _crashes(hardened) < _crashes(patched)
+    # ...but not configuration-triggered ones (the unguardable class).
+    config_crashes = [
+        f for f in hardened.findings
+        if f.outcome.symptom is Symptom.FAIL_STOP
+        and "config-mutation" in f.perturbations
+    ]
+    assert len(config_crashes) == _crashes(hardened)
+
+
+def test_bench_chaos_finds_named_bugs(benchmark):
+    """On the buggy build, chaos rediscovers the named bug symptoms without
+    being told where they are."""
+    report = once(
+        benchmark,
+        lambda: ChaosMonkey(_buggy, seed=2, intensity=4).run_campaign(runs=30),
+    )
+    symptoms = {s.value for s in report.symptoms_found()}
+    print(f"\nchaos-found symptom classes on the buggy build: {sorted(symptoms)}")
+    first_crash = report.first_finding(Symptom.FAIL_STOP)
+    if first_crash:
+        print(
+            f"first crash at run {first_crash.run_index} via "
+            f"{first_crash.perturbations}: {first_crash.outcome.detail[:70]}"
+        )
+    assert "fail_stop" in symptoms
+    assert "byzantine" in symptoms

@@ -1,0 +1,25 @@
+"""Fig 10: ONOS commits per release.
+
+Paper: a prototyping burst through 1.14, then a steady decline — while the
+smell scores of Fig 8 stay constant (constant technical debt per commit).
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.gitmodel import onos_commits_per_release
+from repro.paperdata import ONOS_RELEASES
+from repro.reporting import ascii_table
+
+
+def test_bench_commits_per_release(benchmark):
+    counts = once(benchmark, onos_commits_per_release)
+    rows = [[release, counts[release]] for release in ONOS_RELEASES]
+    print()
+    print(ascii_table(["release", "commits"], rows,
+                      title="Fig 10: ONOS commits per release"))
+    values = list(counts.values())
+    peak_index = max(range(len(values)), key=values.__getitem__)
+    assert ONOS_RELEASES[peak_index] == "1.14", "burst peaks at 1.14"
+    assert values[peak_index:] == sorted(values[peak_index:], reverse=True)

@@ -1,0 +1,41 @@
+"""Table III: sub-categories of configuration bugs per controller.
+
+Paper: Controller / Data-plane / Third-party = 52.9/11.7/35.4 (FAUCET),
+60/15/25 (ONOS), 64.2/14.2/21.6 (CORD).
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro import paperdata
+from repro.analysis import config_subcategory_distribution
+from repro.reporting import ascii_table, format_percent
+from repro.taxonomy import ConfigSubcategory
+
+
+def test_bench_config_subcategories(benchmark, dataset):
+    result = once(benchmark, config_subcategory_distribution, dataset)
+    rows = []
+    for controller in sorted(result):
+        paper = paperdata.CONFIG_SUBCATEGORY_SHARE[controller]
+        for sub in ConfigSubcategory:
+            rows.append(
+                [
+                    controller,
+                    sub.value,
+                    format_percent(paper[sub.value]),
+                    format_percent(result[controller][sub]),
+                ]
+            )
+    print()
+    print(ascii_table(["controller", "sub-category", "paper", "measured"], rows,
+                      title="Table III: configuration sub-categories"))
+    for controller, dist in result.items():
+        # Controller-config bugs dominate in every framework (Table III).
+        assert dist[ConfigSubcategory.CONTROLLER] == max(dist.values())
+        # Data-plane configuration is the smallest slice.
+        assert dist[ConfigSubcategory.DATA_PLANE] == min(dist.values())
+        for sub, share in dist.items():
+            expected = paperdata.CONFIG_SUBCATEGORY_SHARE[controller][sub.value]
+            assert abs(share - expected) < 0.1

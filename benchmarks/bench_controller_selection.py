@@ -1,0 +1,56 @@
+"""SS VII-A (RQ4): controller-selection guideline.
+
+Paper: FAUCET is least stable (52.5% missing-logic bugs); CORD suffers 30%
+load bugs vs ONOS's 16%; ONOS is the recommended general-purpose controller;
+FAUCET fits only the network-slicing niche.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro import paperdata
+from repro.guidance import UseCase, rank_controllers, score_controller
+from repro.reporting import ascii_table, format_percent
+
+
+def test_bench_stability_signals(benchmark, dataset):
+    def run():
+        return {c: score_controller(dataset, c) for c in dataset.controllers}
+
+    scores = once(benchmark, run)
+    rows = [
+        [
+            name,
+            format_percent(s.missing_logic_share),
+            format_percent(s.load_share),
+            format_percent(s.fail_stop_share),
+            f"{s.composite:.3f}",
+        ]
+        for name, s in sorted(scores.items())
+    ]
+    print()
+    print(ascii_table(
+        ["controller", "missing logic", "load", "fail-stop", "instability"],
+        rows, title="SS VII-A: stability signals (lower is better)",
+    ))
+    assert abs(
+        scores["FAUCET"].missing_logic_share - paperdata.FAUCET_MISSING_LOGIC_SHARE
+    ) < 0.05
+    assert abs(scores["CORD"].load_share - 0.30) < 0.05
+    assert abs(scores["ONOS"].load_share - 0.16) < 0.05
+
+
+def test_bench_recommendation(benchmark, dataset):
+    ranking = once(benchmark, rank_controllers, dataset)
+    names = [s.controller for s in ranking]
+    print(f"\ngeneral-purpose recommendation: {' > '.join(names)} "
+          f"(paper: {' > '.join(paperdata.CONTROLLER_RECOMMENDATION)})")
+    assert names[0] == "ONOS"
+
+    slicing = [
+        s.controller
+        for s in rank_controllers(dataset, use_case=UseCase.NETWORK_SLICING)
+    ]
+    print(f"network-slicing recommendation: {' > '.join(slicing)}")
+    assert slicing[0] == "FAUCET", "FAUCET wins only in its niche"

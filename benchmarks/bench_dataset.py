@@ -1,0 +1,42 @@
+"""SS II-B: dataset sizes and release-burst structure.
+
+Paper: 251 (FAUCET), 186 (ONOS), 358 (CORD) critical bugs as of April 2020;
+bug filing bursts around release dates (e.g. CORD in 2017-Q1).
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro import paperdata
+from repro.corpus import CorpusGenerator
+from repro.reporting import ascii_table
+
+
+def test_bench_dataset_sizes(benchmark):
+    corpus = once(benchmark, lambda: CorpusGenerator(seed=2020).generate())
+    counts = corpus.dataset.split_counts()
+    rows = [
+        [name, paperdata.CRITICAL_BUG_COUNTS[name], counts[name]]
+        for name in sorted(counts)
+    ]
+    print()
+    print(ascii_table(["controller", "paper", "measured"], rows,
+                      title="SS II-B: critical bugs per controller"))
+    assert counts == dict(paperdata.CRITICAL_BUG_COUNTS)
+
+
+def test_bench_release_bursts(benchmark, corpus):
+    def burst_ratio():
+        histogram = corpus.jira.quarterly_histogram(project="CORD")
+        profile = corpus.profiles["CORD"]
+        release_quarters = {
+            f"{d.year}-Q{(d.month - 1) // 3 + 1}" for d in profile.release_dates
+        }
+        burst = [v for q, v in histogram.items() if q in release_quarters]
+        quiet = [v for q, v in histogram.items() if q not in release_quarters]
+        return (sum(burst) / len(burst)) / (sum(quiet) / len(quiet))
+
+    ratio = once(benchmark, burst_ratio)
+    print(f"\nCORD release-quarter filing rate vs quiet quarters: {ratio:.2f}x")
+    assert ratio > 1.2, "release quarters should be visibly busier (SS II-B)"

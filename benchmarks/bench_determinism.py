@@ -1,0 +1,31 @@
+"""SS III (RQ1): bug determinism per controller.
+
+Paper: FAUCET 96%, ONOS 94%, CORD 94% deterministic — record-and-replay
+recovery has limited applicability.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro import paperdata
+from repro.analysis import determinism_rates
+from repro.reporting import ascii_table, format_percent
+
+
+def test_bench_determinism(benchmark, dataset):
+    rates = once(benchmark, determinism_rates, dataset)
+    rows = [
+        [
+            name,
+            format_percent(paperdata.DETERMINISM_RATE[name]),
+            format_percent(rate),
+        ]
+        for name, rate in sorted(rates.items())
+    ]
+    print()
+    print(ascii_table(["controller", "paper", "measured"], rows,
+                      title="SS III: share of deterministic bugs"))
+    for name, rate in rates.items():
+        assert abs(rate - paperdata.DETERMINISM_RATE[name]) < 0.04
+    assert min(rates.values()) > 0.9, "determinism must dominate everywhere"

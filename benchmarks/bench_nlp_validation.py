@@ -1,0 +1,78 @@
+"""SS II-C2: autoclassifier validation (2/3 train, 1/3 test).
+
+Paper: SVM with normalization is best — 96% accuracy for bug type, 86% for
+symptoms; no algorithm predicts fixes accurately.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro import paperdata
+from repro.pipeline import ClassifierKind, validate_pipeline
+from repro.reporting import ascii_table, format_percent
+
+
+def test_bench_svm_dimension_accuracy(benchmark, manual_sample):
+    def run():
+        return {
+            dim: validate_pipeline(manual_sample, dim, seed=0)
+            for dim in ("bug_type", "symptom", "trigger", "root_cause", "fix")
+        }
+
+    reports = once(benchmark, run)
+    paper = {
+        "bug_type": paperdata.SVM_BUG_TYPE_ACCURACY,
+        "symptom": paperdata.SVM_SYMPTOM_ACCURACY,
+        "trigger": None,
+        "root_cause": None,
+        "fix": None,
+    }
+    rows = [
+        [dim, format_percent(paper[dim]), format_percent(rep.accuracy)]
+        for dim, rep in reports.items()
+    ]
+    print()
+    print(ascii_table(["dimension", "paper (SVM)", "measured (SVM)"], rows,
+                      title="SS II-C2: classification accuracy"))
+    assert reports["bug_type"].accuracy >= 0.90
+    assert reports["symptom"].accuracy >= 0.80
+    # "we found it hard to find any algorithm to predict bug fixes accurately"
+    assert reports["fix"].accuracy < 0.65
+
+
+def test_bench_classifier_comparison(benchmark, manual_sample):
+    """SVM should be the best of the explored classifier families.
+
+    Averaged over three train/test splits: a single 50-sample test set
+    makes one flipped sample worth 2pp.
+    """
+    seeds = (0, 1, 2)
+
+    def run():
+        means: dict[ClassifierKind, float] = {}
+        for kind in ClassifierKind:
+            accs = [
+                validate_pipeline(manual_sample, "symptom", kind=kind, seed=s).accuracy
+                for s in seeds
+            ]
+            means[kind] = sum(accs) / len(accs)
+        return means
+
+    means = once(benchmark, run)
+    rows = [
+        [kind.value, format_percent(acc)] for kind, acc in means.items()
+    ]
+    print()
+    print(ascii_table(
+        ["classifier", f"symptom accuracy (mean of {len(seeds)} splits)"], rows,
+        title="SS II-C2: classifier family comparison",
+    ))
+    # Paper shape: SVM the best family.  On our cleaner synthetic text the
+    # decision tree ties SVM (noted in EXPERIMENTS.md); we assert SVM is at
+    # the top within half a test sample and clearly ahead of AdaBoost/NB.
+    best = max(means.values())
+    svm = means[ClassifierKind.SVM]
+    assert svm >= best - 0.01
+    assert svm > means[ClassifierKind.ADABOOST]
+    assert svm > means[ClassifierKind.NAIVE_BAYES]

@@ -1,0 +1,51 @@
+"""SS II-C1/C2 completion: fixes are classifiable from patches, not text.
+
+The paper found no algorithm predicts fix strategies from bug descriptions
+(we measure ~40%), yet its own methodology verified fixes by reading the
+source patches.  This bench closes the loop: a rule-based classifier over
+Gerrit metadata (files touched, subject wording, diff shape) recovers the
+fix strategy with high accuracy — quantifying why the authors had to read
+patches rather than descriptions.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.pipeline import validate_pipeline
+from repro.pipeline.patchclassifier import evaluate_patch_classifier
+from repro.reporting import ascii_table, format_percent
+
+
+def test_bench_patch_vs_text_fix_classification(benchmark, corpus):
+    def run():
+        patch_eval = evaluate_patch_classifier(corpus.dataset)
+        text_report = validate_pipeline(corpus.manual_sample, "fix", seed=0)
+        return patch_eval, text_report
+
+    patch_eval, text_report = once(benchmark, run)
+    rows = [
+        ["bug description (SVM text classifier)", format_percent(text_report.accuracy)],
+        ["patch metadata (rule-based)", format_percent(patch_eval.strategy_accuracy)],
+        ["patch metadata, fix *family* only", format_percent(patch_eval.category_accuracy)],
+    ]
+    print()
+    print(ascii_table(
+        ["fix-strategy signal source", "accuracy"], rows,
+        title="SS II-C: where the fix signal lives",
+    ))
+    print()
+    per_rows = [
+        [strategy.value, f"{hits}/{total}", format_percent(hits / total)]
+        for strategy, (hits, total) in sorted(
+            patch_eval.per_strategy.items(), key=lambda kv: kv[0].value
+        )
+    ]
+    print(ascii_table(
+        ["fix strategy", "recovered", "recall"], per_rows,
+        title=f"Patch-based recall per strategy (n={patch_eval.n_bugs})",
+    ))
+    # Descriptions do not predict fixes; patches do.
+    assert text_report.accuracy < 0.65
+    assert patch_eval.strategy_accuracy > 0.75
+    assert patch_eval.strategy_accuracy > text_report.accuracy + 0.25

@@ -1,0 +1,74 @@
+"""SS VI-A / Figs 8-9: code smells across ONOS releases.
+
+Paper: architecture smells (god component) stay constant despite declining
+commits; unstable-dependency smells decline steadily 1.12->2.3; design
+smells spike between 1.12-1.14 then stay flat (insufficient modularization)
+or decline (broken hierarchy); net.intent.impl grows from 49 to 107 classes;
+ONOS-6594 re-parents Run under AsyncLeaderElector, fixing its broken
+hierarchy (Fig 9).
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.codebase import release_series
+from repro.paperdata import ONOS_RELEASES
+from repro.reporting import ascii_table
+from repro.smells import SmellKind, analyze
+
+
+def test_bench_fig8_smell_series(benchmark):
+    def run():
+        return {
+            version: analyze(model).counts()
+            for version, model in release_series().items()
+        }
+
+    counts = once(benchmark, run)
+    rows = [
+        [version] + [counts[version][kind] for kind in SmellKind]
+        for version in ONOS_RELEASES
+    ]
+    print()
+    print(ascii_table(
+        ["release"] + [k.value for k in SmellKind], rows,
+        title="Fig 8: smell counts per ONOS release",
+    ))
+    series = {kind: [counts[v][kind] for v in ONOS_RELEASES] for kind in SmellKind}
+    god = series[SmellKind.GOD_COMPONENT]
+    assert max(god) - min(god) <= 1, "architecture debt constant"
+    unstable = series[SmellKind.UNSTABLE_DEPENDENCY]
+    assert unstable[0] > unstable[-1], "unstable dependencies decline"
+    insufficient = series[SmellKind.INSUFFICIENT_MODULARIZATION]
+    assert insufficient[2] > insufficient[0], "design spike 1.12->1.14"
+    assert max(insufficient[2:]) - min(insufficient[2:]) <= 2, "then flat"
+    broken = series[SmellKind.BROKEN_HIERARCHY]
+    assert broken[2] == max(broken) and broken[-1] == min(broken)
+    assert max(series[SmellKind.HUB_LIKE_MODULARIZATION]) <= 6, "hubs stay low"
+    assert max(series[SmellKind.MISSING_HIERARCHY]) <= 6
+
+
+def test_bench_intent_impl_growth(benchmark):
+    models = once(benchmark, release_series)
+    first = models["1.12"].package("org.onosproject.net.intent.impl").class_count
+    last = models["2.3"].package("org.onosproject.net.intent.impl").class_count
+    print(f"\nnet.intent.impl classes: 1.12 -> {first} (paper 49), "
+          f"2.3 -> {last} (paper 107)")
+    assert abs(first - 49) <= 5 and abs(last - 107) <= 5
+
+
+def test_bench_fig9_onos6594(benchmark):
+    models = once(benchmark, release_series)
+    run_class = "org.onosproject.store.primitives.Run"
+    before = [
+        inst.subject
+        for inst in analyze(models["1.15"]).by_kind(SmellKind.BROKEN_HIERARCHY)
+    ]
+    after = [
+        inst.subject
+        for inst in analyze(models["2.0"]).by_kind(SmellKind.BROKEN_HIERARCHY)
+    ]
+    print(f"\nRun broken-hierarchy before fix: {run_class in before}; "
+          f"after ONOS-6594: {run_class in after}")
+    assert run_class in before and run_class not in after

@@ -1,0 +1,96 @@
+"""SS IV / Fig 2 (RQ2): operational impact of bugs.
+
+Paper marginals: byzantine 61.33% (gray 52.17 / stall 20.65 / incorrect
+27.18 within byzantine), fail-stop 20%, error message 14.7%, performance 4%.
+Fig 2: FAUCET fail-stops stem from human/ecosystem causes, ONOS/CORD from
+controller logic; performance bugs: FAUCET<-ecosystem, ONOS<-concurrency,
+CORD<-memory.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro import paperdata
+from repro.analysis import (
+    byzantine_mode_distribution,
+    root_cause_by_symptom,
+    symptom_distribution,
+)
+from repro.analysis.symptoms import controller_logic_share_of_symptom
+from repro.reporting import ascii_table, format_percent
+from repro.taxonomy import RootCause, Symptom
+
+
+def test_bench_symptom_marginals(benchmark, dataset):
+    dist = once(benchmark, symptom_distribution, dataset)
+    rows = [
+        [
+            symptom.value,
+            format_percent(paperdata.SYMPTOM_SHARE[symptom.value]),
+            format_percent(dist[symptom]),
+        ]
+        for symptom in Symptom
+    ]
+    print()
+    print(ascii_table(["symptom", "paper", "measured"], rows,
+                      title="SS IV: symptom distribution"))
+    assert dist[Symptom.BYZANTINE] == max(dist.values())
+    assert abs(dist[Symptom.BYZANTINE] - 0.6133) < 0.05
+    assert abs(dist[Symptom.FAIL_STOP] - 0.20) < 0.05
+    assert abs(dist[Symptom.ERROR_MESSAGE] - 0.147) < 0.05
+    assert abs(dist[Symptom.PERFORMANCE] - 0.04) < 0.03
+
+
+def test_bench_byzantine_modes(benchmark, dataset):
+    modes = once(benchmark, byzantine_mode_distribution, dataset)
+    rows = [
+        [
+            mode.value,
+            format_percent(paperdata.BYZANTINE_MODE_SHARE[mode.value]),
+            format_percent(share),
+        ]
+        for mode, share in modes.items()
+    ]
+    print()
+    print(ascii_table(["byzantine mode", "paper", "measured"], rows,
+                      title="SS IV: modes within the byzantine class"))
+    ordering = sorted(modes, key=modes.get, reverse=True)
+    assert [m.value for m in ordering] == [
+        "gray_failure", "incorrect_behavior", "stall",
+    ]
+
+
+def test_bench_fig2_failstop_root_causes(benchmark, dataset):
+    result = once(benchmark, root_cause_by_symptom, dataset, Symptom.FAIL_STOP)
+    print()
+    for controller, dist in sorted(result.items()):
+        top = ", ".join(
+            f"{cause.value}={format_percent(share)}"
+            for cause, share in list(dist.items())[:3]
+        )
+        print(f"  {controller:8s} fail-stop root causes: {top}")
+    logic_share = controller_logic_share_of_symptom(dataset, Symptom.FAIL_STOP)
+    # Fig 2 contrast: controller-logic causes dominate ONOS/CORD crashes,
+    # human/ecosystem causes dominate FAUCET crashes.
+    assert logic_share["ONOS"] > 0.5 > logic_share["FAUCET"] - 0.2
+    assert logic_share["ONOS"] > logic_share["FAUCET"]
+    assert logic_share["CORD"] > logic_share["FAUCET"]
+
+
+def test_bench_fig2_performance_root_causes(benchmark, dataset):
+    result = once(benchmark, root_cause_by_symptom, dataset, Symptom.PERFORMANCE)
+    print()
+    for controller, dist in sorted(result.items()):
+        top = ", ".join(
+            f"{cause.value}={format_percent(share)}"
+            for cause, share in list(dist.items())[:3]
+        )
+        print(f"  {controller:8s} performance root causes: {top}")
+    faucet_eco = sum(
+        share for cause, share in result.get("FAUCET", {}).items()
+        if cause.is_ecosystem
+    )
+    assert faucet_eco > 0.4, "FAUCET perf bugs come from ecosystem interactions"
+    assert result["CORD"].get(RootCause.MEMORY, 0.0) > 0.1
+    assert result["ONOS"].get(RootCause.CONCURRENCY, 0.0) > 0.1

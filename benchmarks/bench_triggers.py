@@ -1,0 +1,64 @@
+"""SS V-A (RQ3): bug triggers and the fix structure around them.
+
+Paper: configuration 38.8%, external calls 33%, network events 19.8%,
+hardware reboots 8.4%; only 25% of configuration bugs are fixed via
+configuration change; 41.4% of external-call fixes add compatibility.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro import paperdata
+from repro.analysis import (
+    config_fixed_by_config_share,
+    external_compatibility_fix_share,
+    trigger_distribution,
+)
+from repro.reporting import ascii_table, format_percent
+from repro.taxonomy import Trigger
+
+
+def test_bench_trigger_distribution(benchmark, dataset):
+    dist = once(benchmark, trigger_distribution, dataset)
+    rows = [
+        [
+            trigger.value,
+            format_percent(paperdata.TRIGGER_SHARE[trigger.value]),
+            format_percent(dist[trigger]),
+        ]
+        for trigger in Trigger
+    ]
+    print()
+    print(ascii_table(["trigger", "paper", "measured"], rows,
+                      title="SS V-A: trigger distribution"))
+    ordering = sorted(dist, key=dist.get, reverse=True)
+    assert ordering == [
+        Trigger.CONFIGURATION,
+        Trigger.EXTERNAL_CALLS,
+        Trigger.NETWORK_EVENTS,
+        Trigger.HARDWARE_REBOOTS,
+    ]
+    for trigger in Trigger:
+        assert abs(dist[trigger] - paperdata.TRIGGER_SHARE[trigger.value]) < 0.04
+
+
+def test_bench_config_fix_share(benchmark, dataset):
+    share = once(benchmark, config_fixed_by_config_share, dataset)
+    print(
+        f"\nconfig bugs fixed by config change: paper "
+        f"{format_percent(paperdata.CONFIG_BUGS_FIXED_BY_CONFIG)} vs measured "
+        f"{format_percent(share)}"
+    )
+    assert abs(share - paperdata.CONFIG_BUGS_FIXED_BY_CONFIG) < 0.06
+    assert share < 0.5, "most config bugs are NOT fixed in configuration"
+
+
+def test_bench_external_compatibility_share(benchmark, dataset):
+    share = once(benchmark, external_compatibility_fix_share, dataset)
+    print(
+        f"\nexternal-call bugs fixed by add-compatibility: paper "
+        f"{format_percent(paperdata.EXTERNAL_CALL_COMPATIBILITY_FIX)} vs "
+        f"measured {format_percent(share)}"
+    )
+    assert abs(share - paperdata.EXTERNAL_CALL_COMPATIBILITY_FIX) < 0.06

@@ -1,0 +1,48 @@
+"""Table III-b / SS V-A: ONOS dependency vulnerabilities across releases.
+
+Paper: scanning ONOS with dependency-check against NVD shows vulnerability
+exposure increasing over time as dependencies accumulate; the outdated OVSDB
+library (CVE-2018-1000615) enabled a DoS.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.paperdata import ONOS_RELEASES
+from repro.reporting import ascii_table
+from repro.vuln import DependencyScanner, onos_release_manifests
+
+
+def test_bench_vulnerability_growth(benchmark):
+    scanner = DependencyScanner()
+    results = once(benchmark, scanner.scan_releases, onos_release_manifests())
+    rows = [
+        [
+            release,
+            len(onos_release_manifests()[release]),
+            len(results[release]),
+            ", ".join(sorted({f.package for f in results[release]})[:4]),
+        ]
+        for release in ONOS_RELEASES
+    ]
+    print()
+    print(ascii_table(
+        ["release", "deps", "vulns", "affected (sample)"], rows,
+        title="Table III-b: ONOS vulnerability growth",
+    ))
+    counts = [len(results[r]) for r in ONOS_RELEASES]
+    assert counts[-1] > counts[0], "exposure must grow over the release series"
+    assert all(b >= a for a, b in zip(counts[:-2], counts[1:-1]))
+
+
+def test_bench_ovsdb_cve(benchmark):
+    scanner = DependencyScanner()
+    results = once(benchmark, scanner.scan_releases, onos_release_manifests())
+    hit_releases = [
+        release
+        for release in ONOS_RELEASES
+        if any(f.cve.cve_id == "CVE-2018-1000615" for f in results[release])
+    ]
+    print(f"\nCVE-2018-1000615 (OVSDB DoS) present in: {', '.join(hit_releases)}")
+    assert hit_releases == list(ONOS_RELEASES)

@@ -1,0 +1,32 @@
+"""Shared bench fixtures: one corpus for the whole benchmark session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import CorpusGenerator, StudyCorpus
+
+
+@pytest.fixture(scope="session")
+def corpus() -> StudyCorpus:
+    return CorpusGenerator(seed=2020).generate()
+
+
+@pytest.fixture(scope="session")
+def dataset(corpus):
+    return corpus.dataset
+
+
+@pytest.fixture(scope="session")
+def manual_sample(corpus):
+    return corpus.manual_sample
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Most of these benches are full experiments (corpus generation, model
+    training); repeating them for statistics would multiply runtimes without
+    changing the reproduced numbers.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Taxonomy-driven fault injection and framework evaluation (RQ5).
+
+Replays the paper's named bugs (FAUCET-1623, CORD-2470, FAUCET-355,
+VOL-549, CORD-1734) inside the SDN simulator, runs the full fault campaign,
+and evaluates recovery strategies — reproducing the conclusion that
+deterministic bugs are detected but rarely recovered.
+
+Run:  python examples/fault_injection_campaign.py
+"""
+
+from repro.faultinjection import CASE_RUNNERS, FaultCampaign, run_case
+from repro.frameworks.evaluator import (
+    deterministic_recovery_gap,
+    evaluate_coverage,
+    mechanical_validation,
+)
+from repro.reporting import ascii_table, format_percent
+
+
+def show_case_studies() -> None:
+    rows = []
+    for case_id in sorted(CASE_RUNNERS):
+        outcome = run_case(case_id)
+        buggy = outcome.buggy.symptom.value if outcome.buggy.symptom else "healthy"
+        if outcome.buggy.byzantine_mode:
+            buggy += f" ({outcome.buggy.byzantine_mode.value})"
+        fixed = outcome.fixed.symptom.value if outcome.fixed.symptom else "healthy"
+        rows.append([case_id, buggy, fixed])
+    print(ascii_table(
+        ["bug", "buggy build", "patched build"], rows,
+        title="Named case studies executed in the simulator",
+    ))
+
+
+def show_campaign() -> None:
+    campaign = FaultCampaign(seeds_per_fault=4).run()
+    rows = [
+        [
+            r.spec.fault_id,
+            r.spec.trigger.value,
+            r.spec.bug_type.value,
+            f"{r.manifestation_rate:.0%}",
+            "ok" if r.matches_expectation else "MISMATCH",
+        ]
+        for r in campaign.results
+    ]
+    print()
+    print(ascii_table(
+        ["fault", "trigger", "determinism", "manifestation", "taxonomy match"],
+        rows, title=f"Fault campaign ({len(campaign)} faults x 4 seeds)",
+    ))
+
+
+def show_recovery_gap() -> None:
+    report = evaluate_coverage(seed=0)
+    gap = deterministic_recovery_gap(report)
+    rows = [
+        [name, format_percent(report.detection_rate(name)), format_percent(rate)]
+        for name, rate in sorted(gap.items())
+    ]
+    print()
+    print(ascii_table(
+        ["framework", "detection", "deterministic recovery"], rows,
+        title="RQ5: the deterministic-recovery gap",
+    ))
+    print()
+    results = mechanical_validation(seed=0)
+    for strategy, attempts in results.items():
+        wins = [a.fault_id for a in attempts if a.recovered]
+        print(f"  strategy {strategy!r} mechanically recovered: {wins or 'nothing'}")
+
+
+def main() -> None:
+    show_case_studies()
+    show_campaign()
+    show_recovery_gap()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs fail; with this shim and no ``[build-system]`` table in
+``pyproject.toml``, ``pip install -e .`` falls back to ``setup.py develop``,
+which works without wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""repro — reproduction of "A Comprehensive Study of Bugs in Software
+Defined Networks" (Bhardwaj, Zhou, Benson; DSN 2021).
+
+The package is organized bottom-up:
+
+* substrates: :mod:`repro.trackers`, :mod:`repro.textmining`,
+  :mod:`repro.ml`, :mod:`repro.embeddings`, :mod:`repro.smells`,
+  :mod:`repro.gitmodel`, :mod:`repro.vuln`, :mod:`repro.sdnsim`;
+* the study itself: :mod:`repro.taxonomy`, :mod:`repro.corpus`,
+  :mod:`repro.pipeline`, :mod:`repro.analysis`;
+* applications of the study: :mod:`repro.faultinjection`,
+  :mod:`repro.frameworks`, :mod:`repro.guidance`;
+* paper ground truth and rendering: :mod:`repro.paperdata`,
+  :mod:`repro.reporting`.
+
+Quickstart::
+
+    from repro import CorpusGenerator, determinism_rates
+
+    corpus = CorpusGenerator(seed=2020).generate()
+    print(determinism_rates(corpus.dataset))
+"""
+
+from repro._version import __version__
+from repro.analysis import (
+    determinism_rates,
+    symptom_distribution,
+    trigger_distribution,
+)
+from repro.corpus import BugDataset, CorpusGenerator, LabeledBug, StudyCorpus
+from repro.errors import ReproError
+from repro.pipeline import AutoClassifier, ClassifierKind, validate_pipeline
+from repro.taxonomy import (
+    BugLabel,
+    BugType,
+    ByzantineMode,
+    FixStrategy,
+    RootCause,
+    Symptom,
+    Trigger,
+)
+
+__all__ = [
+    "__version__",
+    "determinism_rates",
+    "symptom_distribution",
+    "trigger_distribution",
+    "BugDataset",
+    "CorpusGenerator",
+    "LabeledBug",
+    "StudyCorpus",
+    "ReproError",
+    "AutoClassifier",
+    "ClassifierKind",
+    "validate_pipeline",
+    "BugLabel",
+    "BugType",
+    "ByzantineMode",
+    "FixStrategy",
+    "RootCause",
+    "Symptom",
+    "Trigger",
+]

@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+generate     Generate the study corpus and write it to JSONL.
+analyze      Run RQ1-RQ3 analyses over a corpus (generated or from JSONL).
+validate     Run the SS II-C NLP validation protocol.
+inject       Execute the fault-injection campaign and the named case studies.
+chaos        Run a Chaos-Monkey fuzzing campaign.
+experiments  List every reproducible paper artifact and its bench.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.reporting import ascii_table, format_percent, render_distribution
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.corpus import CorpusGenerator, save_dataset_jsonl
+
+    corpus = CorpusGenerator(seed=args.seed).generate()
+    save_dataset_jsonl(corpus.dataset, args.output)
+    counts = corpus.dataset.split_counts()
+    print(f"wrote {len(corpus.dataset)} labeled bugs to {args.output}")
+    print(f"per controller: {counts}")
+    return 0
+
+
+def _load_dataset(args: argparse.Namespace):
+    from repro.corpus import CorpusGenerator, load_dataset_jsonl
+
+    if args.input:
+        return load_dataset_jsonl(args.input)
+    return CorpusGenerator(seed=args.seed).generate().dataset
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        determinism_rates,
+        symptom_distribution,
+        trigger_distribution,
+    )
+
+    dataset = _load_dataset(args)
+    print(ascii_table(
+        ["controller", "deterministic"],
+        [[c, format_percent(r)] for c, r in sorted(determinism_rates(dataset).items())],
+        title="RQ1: determinism",
+    ))
+    print()
+    print(render_distribution(symptom_distribution(dataset), title="RQ2: symptoms"))
+    print()
+    print(render_distribution(trigger_distribution(dataset), title="RQ3: triggers"))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.corpus import CorpusGenerator
+    from repro.pipeline.validation import validate_pipeline
+
+    corpus = CorpusGenerator(seed=args.seed).generate()
+    for dimension in args.dimensions:
+        report = validate_pipeline(corpus.manual_sample, dimension, seed=0)
+        print(report.summary())
+    return 0
+
+
+def _cmd_inject(args: argparse.Namespace) -> int:
+    from repro.faultinjection import CASE_RUNNERS, FaultCampaign, run_case
+
+    campaign = FaultCampaign(seeds_per_fault=args.seeds).run()
+    rows = [
+        [
+            r.spec.fault_id,
+            r.spec.trigger.value,
+            f"{r.manifestation_rate:.0%}",
+            "ok" if r.matches_expectation else "MISMATCH",
+        ]
+        for r in campaign.results
+    ]
+    print(ascii_table(["fault", "trigger", "manifestation", "taxonomy match"],
+                      rows, title="Fault campaign"))
+    print()
+    for case_id in sorted(CASE_RUNNERS):
+        outcome = run_case(case_id)
+        status = "fix works" if outcome.fix_removes_symptom else "FIX FAILED"
+        buggy = outcome.buggy.symptom.value if outcome.buggy.symptom else "healthy"
+        print(f"  {case_id:12s} buggy={buggy:12s} {status}")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import ChaosMonkey
+    from repro.faultinjection.scenario import build_scenario
+
+    factories = {
+        "buggy": lambda: build_scenario(
+            mirror_broadcast=False, multicast_guard=False,
+            gauge_cast_types=False, adapter_timeout=None,
+        ),
+        "patched": build_scenario,
+        "hardened": lambda: build_scenario(input_validation=True),
+    }
+    factory = factories[args.build]
+    report = ChaosMonkey(factory, seed=args.seed).run_campaign(runs=args.runs)
+    print(f"build={args.build}: {len(report.findings)}/{report.runs} runs "
+          f"surfaced a symptom")
+    for finding in report.findings[: args.show]:
+        symptom = finding.outcome.symptom.value
+        print(f"  run {finding.run_index:3d} {finding.perturbations} -> "
+              f"{symptom}: {finding.outcome.detail[:60]}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.reporting import EXPERIMENTS
+
+    rows = [[e.exp_id, e.paper_artifact, e.bench] for e in EXPERIMENTS]
+    print(ascii_table(["id", "paper artifact", "bench"], rows,
+                      title="Reproducible experiments"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A Comprehensive Study of Bugs in SDNs' (DSN'21)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate the study corpus to JSONL")
+    p.add_argument("--seed", type=int, default=2020)
+    p.add_argument("--output", default="corpus.jsonl")
+    p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("analyze", help="run RQ1-RQ3 analyses")
+    p.add_argument("--seed", type=int, default=2020)
+    p.add_argument("--input", help="JSONL corpus (default: generate fresh)")
+    p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser("validate", help="run the NLP validation protocol")
+    p.add_argument("--seed", type=int, default=2020)
+    p.add_argument(
+        "--dimensions", nargs="+",
+        default=["bug_type", "symptom", "fix"],
+        choices=["bug_type", "root_cause", "symptom", "fix", "trigger"],
+    )
+    p.set_defaults(fn=_cmd_validate)
+
+    p = sub.add_parser("inject", help="run the fault-injection campaign")
+    p.add_argument("--seeds", type=int, default=3, help="seeds per fault")
+    p.set_defaults(fn=_cmd_inject)
+
+    p = sub.add_parser("chaos", help="run a chaos fuzzing campaign")
+    p.add_argument("--build", choices=["buggy", "patched", "hardened"],
+                   default="patched")
+    p.add_argument("--runs", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--show", type=int, default=10, help="findings to print")
+    p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser("experiments", help="list reproducible artifacts")
+    p.set_defaults(fn=_cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

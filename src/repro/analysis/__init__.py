@@ -1,0 +1,52 @@
+"""Statistical analyses over labeled bug datasets (RQ1-RQ4).
+
+Each module maps to a paper section/figure:
+
+* :mod:`repro.analysis.determinism` — SS III (RQ1)
+* :mod:`repro.analysis.symptoms` — SS IV / Fig 2 / Table VII
+* :mod:`repro.analysis.triggers` — SS V-A / Table III / Fig 13
+* :mod:`repro.analysis.resolution` — SS V-B / Fig 7
+* :mod:`repro.analysis.correlation` — SS VII-B / Fig 12
+* :mod:`repro.analysis.topics` — SS VII-B / Fig 14
+"""
+
+from repro.analysis.correlation import (
+    CategoryCorrelation,
+    correlation_cdf,
+    pairwise_correlations,
+    strongly_correlated_pairs,
+)
+from repro.analysis.determinism import determinism_rates
+from repro.analysis.resolution import EmpiricalCDF, resolution_cdfs
+from repro.analysis.symptoms import (
+    byzantine_mode_distribution,
+    root_cause_by_symptom,
+    symptom_distribution,
+)
+from repro.analysis.topics import topic_uniqueness
+from repro.analysis.triggers import (
+    config_fixed_by_config_share,
+    config_subcategory_distribution,
+    external_compatibility_fix_share,
+    fine_trigger_distribution,
+    trigger_distribution,
+)
+
+__all__ = [
+    "CategoryCorrelation",
+    "correlation_cdf",
+    "pairwise_correlations",
+    "strongly_correlated_pairs",
+    "determinism_rates",
+    "EmpiricalCDF",
+    "resolution_cdfs",
+    "byzantine_mode_distribution",
+    "root_cause_by_symptom",
+    "symptom_distribution",
+    "topic_uniqueness",
+    "config_fixed_by_config_share",
+    "config_subcategory_distribution",
+    "external_compatibility_fix_share",
+    "fine_trigger_distribution",
+    "trigger_distribution",
+]

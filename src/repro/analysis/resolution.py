@@ -1,0 +1,110 @@
+"""SS V-B / Fig 7: resolution-time CDFs by trigger.
+
+Only bugs with an observable ``resolved_at`` participate — in practice that
+excludes all FAUCET bugs, exactly as in the paper ("we could not analyze
+FAUCET's resolution times because their GitHub repository does not provide
+this information").
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.corpus.dataset import BugDataset
+from repro.taxonomy import Trigger
+
+
+@dataclass(frozen=True)
+class EmpiricalCDF:
+    """Empirical cumulative distribution over a sorted sample."""
+
+    values: tuple[float, ...]
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "EmpiricalCDF":
+        if not samples:
+            raise ValueError("cannot build a CDF from an empty sample")
+        return cls(values=tuple(sorted(samples)))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def cdf(self, x: float) -> float:
+        """P(X <= x)."""
+        return bisect.bisect_right(self.values, x) / len(self.values)
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF with the nearest-rank method (ceil(q*n)-th order
+        statistic)."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        rank = max(1, math.ceil(q * len(self.values)))
+        return self.values[rank - 1]
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def p90(self) -> float:
+        return self.quantile(0.9)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    @property
+    def max(self) -> float:
+        return self.values[-1]
+
+    def series(self, points: int = 50) -> list[tuple[float, float]]:
+        """Evenly spaced (value, cumulative-probability) pairs for plotting."""
+        if points < 2:
+            raise ValueError("points must be >= 2")
+        lo, hi = self.values[0], self.values[-1]
+        if hi == lo:
+            return [(lo, 1.0)]
+        step = (hi - lo) / (points - 1)
+        return [(lo + i * step, self.cdf(lo + i * step)) for i in range(points)]
+
+
+def resolution_cdfs(
+    dataset: BugDataset,
+) -> dict[str, dict[Trigger, EmpiricalCDF]]:
+    """Fig 7: per controller, per trigger, the CDF of resolution days.
+
+    Controllers/triggers with no *resolved* bugs are omitted (FAUCET never
+    appears because its tracker exposes no resolution timestamps).
+    """
+    result: dict[str, dict[Trigger, EmpiricalCDF]] = {}
+    for controller in dataset.controllers:
+        subset = dataset.by_controller(controller)
+        per_trigger: dict[Trigger, list[float]] = {}
+        for bug in subset:
+            days = bug.report.resolution_days
+            if days is None:
+                continue
+            per_trigger.setdefault(bug.label.trigger, []).append(days)
+        if per_trigger:
+            result[controller] = {
+                trigger: EmpiricalCDF.from_samples(days)
+                for trigger, days in per_trigger.items()
+            }
+    return result
+
+
+def tail_comparison(
+    dataset: BugDataset, *, quantile: float = 0.9
+) -> dict[Trigger, dict[str, float]]:
+    """Tail (default p90) resolution days per trigger per controller —
+    the quantity behind the paper's 'ONOS has a longer tail than CORD except
+    for reboots' observation."""
+    cdfs = resolution_cdfs(dataset)
+    comparison: dict[Trigger, dict[str, float]] = {}
+    for controller, per_trigger in cdfs.items():
+        for trigger, cdf in per_trigger.items():
+            comparison.setdefault(trigger, {})[controller] = cdf.quantile(quantile)
+    return comparison

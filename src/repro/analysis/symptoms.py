@@ -1,0 +1,90 @@
+"""RQ2 (SS IV, Fig 2, Table VII): operational impact of bugs."""
+
+from __future__ import annotations
+
+from repro.corpus.dataset import BugDataset
+from repro.paperdata import CROSS_DOMAIN_SYMPTOMS
+from repro.taxonomy import ByzantineMode, RootCause, Symptom
+
+
+def symptom_distribution(dataset: BugDataset) -> dict[Symptom, float]:
+    """Share of each symptom across ``dataset`` (sums to 1)."""
+    if len(dataset) == 0:
+        raise ValueError("empty dataset")
+    counts = {s: 0 for s in Symptom}
+    for bug in dataset:
+        counts[bug.label.symptom] += 1
+    return {s: c / len(dataset) for s, c in counts.items()}
+
+
+def byzantine_mode_distribution(dataset: BugDataset) -> dict[ByzantineMode, float]:
+    """Distribution of modes *within* the byzantine class (SS IV)."""
+    byzantine = dataset.filter(lambda b: b.label.symptom is Symptom.BYZANTINE)
+    if len(byzantine) == 0:
+        raise ValueError("dataset contains no byzantine bugs")
+    counts = {m: 0 for m in ByzantineMode}
+    for bug in byzantine:
+        assert bug.label.byzantine_mode is not None
+        counts[bug.label.byzantine_mode] += 1
+    return {m: c / len(byzantine) for m, c in counts.items()}
+
+
+def root_cause_by_symptom(
+    dataset: BugDataset, symptom: Symptom
+) -> dict[str, dict[RootCause, float]]:
+    """Fig 2: per controller, the root-cause distribution of one symptom.
+
+    Returns ``{controller: {root_cause: share}}``; controllers with no bugs
+    showing ``symptom`` map to an empty dict.
+    """
+    result: dict[str, dict[RootCause, float]] = {}
+    for controller in dataset.controllers:
+        subset = dataset.by_controller(controller).filter(
+            lambda b: b.label.symptom is symptom
+        )
+        if len(subset) == 0:
+            result[controller] = {}
+            continue
+        counts: dict[RootCause, int] = {}
+        for bug in subset:
+            counts[bug.label.root_cause] = counts.get(bug.label.root_cause, 0) + 1
+        result[controller] = {
+            cause: count / len(subset) for cause, count in sorted(
+                counts.items(), key=lambda kv: -kv[1]
+            )
+        }
+    return result
+
+
+def controller_logic_share_of_symptom(
+    dataset: BugDataset, symptom: Symptom
+) -> dict[str, float]:
+    """Per controller, the share of ``symptom`` bugs rooted in controller
+    logic (vs human/ecosystem).  Encodes Fig 2's FAUCET-vs-ONOS/CORD
+    fail-stop contrast as a single number per controller."""
+    shares: dict[str, float] = {}
+    for controller, dist in root_cause_by_symptom(dataset, symptom).items():
+        if not dist:
+            continue
+        shares[controller] = sum(
+            share
+            for cause, share in dist.items()
+            if cause.family.value == "controller_logic"
+        )
+    return shares
+
+
+def cross_domain_table(dataset: BugDataset) -> dict[str, dict[str, float | None]]:
+    """Table VII: measured SDN symptom shares next to the paper's Cloud/BGP
+    comparison values."""
+    measured = symptom_distribution(dataset)
+    table: dict[str, dict[str, float | None]] = {}
+    for symptom_name, row in CROSS_DOMAIN_SYMPTOMS.items():
+        symptom = Symptom(symptom_name)
+        table[symptom_name] = {
+            "SDN (measured)": measured[symptom],
+            "SDN (paper)": row["SDN"],
+            "Cloud": row["Cloud"],
+            "BGP": row["BGP"],
+        }
+    return table

@@ -1,0 +1,95 @@
+"""RQ3 (SS V-A, Table III, Fig 13): what events trigger bugs."""
+
+from __future__ import annotations
+
+from repro.corpus.dataset import BugDataset
+from repro.taxonomy import (
+    ConfigSubcategory,
+    ExternalCallKind,
+    FixStrategy,
+    Trigger,
+)
+
+
+def trigger_distribution(dataset: BugDataset) -> dict[Trigger, float]:
+    """Share of each trigger across ``dataset`` (sums to 1)."""
+    if len(dataset) == 0:
+        raise ValueError("empty dataset")
+    counts = {t: 0 for t in Trigger}
+    for bug in dataset:
+        counts[bug.label.trigger] += 1
+    return {t: c / len(dataset) for t, c in counts.items()}
+
+
+def config_subcategory_distribution(
+    dataset: BugDataset,
+) -> dict[str, dict[ConfigSubcategory, float]]:
+    """Table III: per controller, sub-categories of configuration bugs."""
+    result: dict[str, dict[ConfigSubcategory, float]] = {}
+    for controller in dataset.controllers:
+        config_bugs = dataset.by_controller(controller).filter(
+            lambda b: b.label.trigger is Trigger.CONFIGURATION
+        )
+        if len(config_bugs) == 0:
+            result[controller] = {}
+            continue
+        counts = {sub: 0 for sub in ConfigSubcategory}
+        for bug in config_bugs:
+            assert bug.label.config_subcategory is not None
+            counts[bug.label.config_subcategory] += 1
+        result[controller] = {
+            sub: count / len(config_bugs) for sub, count in counts.items()
+        }
+    return result
+
+
+def config_fixed_by_config_share(dataset: BugDataset) -> float:
+    """SS V-A: share of configuration-triggered bugs whose fix is a
+    configuration change (paper: only 25%)."""
+    config_bugs = dataset.filter(lambda b: b.label.trigger is Trigger.CONFIGURATION)
+    if len(config_bugs) == 0:
+        raise ValueError("dataset contains no configuration-triggered bugs")
+    fixed_by_config = sum(
+        1 for bug in config_bugs if bug.label.fix is FixStrategy.FIX_CONFIGURATION
+    )
+    return fixed_by_config / len(config_bugs)
+
+
+def external_compatibility_fix_share(dataset: BugDataset) -> float:
+    """SS V-A: share of external-call bugs fixed by making the controller
+    compatible (add-compatibility or package upgrade; paper: 41.4% for the
+    add-compatibility strategy alone, which is what we count)."""
+    external = dataset.filter(lambda b: b.label.trigger is Trigger.EXTERNAL_CALLS)
+    if len(external) == 0:
+        raise ValueError("dataset contains no external-call bugs")
+    compatibility = sum(
+        1 for bug in external if bug.label.fix is FixStrategy.ADD_COMPATIBILITY
+    )
+    return compatibility / len(external)
+
+
+def fine_trigger_distribution(dataset: BugDataset) -> dict[str, float]:
+    """Fig 13: triggers with external calls split into system / third-party /
+    application calls.
+
+    Keys: ``configuration``, ``system_calls``, ``third_party_calls``,
+    ``application_calls``, ``network_events``, ``hardware_reboots``.
+    """
+    if len(dataset) == 0:
+        raise ValueError("empty dataset")
+    counts: dict[str, int] = {
+        "configuration": 0,
+        "system_calls": 0,
+        "third_party_calls": 0,
+        "application_calls": 0,
+        "network_events": 0,
+        "hardware_reboots": 0,
+    }
+    for bug in dataset:
+        trigger = bug.label.trigger
+        if trigger is Trigger.EXTERNAL_CALLS:
+            kind = bug.label.external_kind or ExternalCallKind.THIRD_PARTY_CALLS
+            counts[kind.value] += 1
+        else:
+            counts[trigger.value] += 1
+    return {k: v / len(dataset) for k, v in counts.items()}

@@ -1,0 +1,26 @@
+"""Chaos-Monkey-style fuzz testing for SDN controllers (SS V-A takeaway).
+
+The paper: "anecdotal evidence suggests that such bugs exist because testing
+environments lack representative failures and equipment ... emerging
+approaches to apply Chaos-Monkey style fuzz testing to SDNs are needed".
+This package is that fuzzer: randomized sequences of environment
+perturbations (reboots, port flaps, service outages, config mutations,
+traffic anomalies) thrown at a simulator scenario, with outcomes classified
+through the same taxonomy observer the fault injector uses.
+"""
+
+from repro.chaos.monkey import (
+    ChaosFinding,
+    ChaosMonkey,
+    ChaosReport,
+    Perturbation,
+    default_perturbations,
+)
+
+__all__ = [
+    "ChaosFinding",
+    "ChaosMonkey",
+    "ChaosReport",
+    "Perturbation",
+    "default_perturbations",
+]

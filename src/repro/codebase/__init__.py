@@ -1,0 +1,12 @@
+"""Synthetic release-series code models (substitute for ONOS source).
+
+Designite runs on Java sources; offline we synthesize the structural graph
+per ONOS release with the evolution the paper reports (SS VI-A, Fig 8):
+constant architecture debt, declining unstable dependencies, an early spike
+in design smells, the ``net.intent.impl`` growth from 49 to 107 classes, and
+the Fig 9 ``Run``/``ElectionOperation`` broken hierarchy fixed by ONOS-6594.
+"""
+
+from repro.codebase.generator import OnosCodebaseGenerator, release_series
+
+__all__ = ["OnosCodebaseGenerator", "release_series"]

@@ -1,0 +1,44 @@
+"""JSONL serialization for labeled bug datasets."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.corpus.dataset import BugDataset, LabeledBug
+from repro.errors import CorpusError
+from repro.taxonomy import BugLabel
+from repro.trackers.models import BugReport
+
+
+def save_dataset_jsonl(dataset: BugDataset, path: str | Path) -> None:
+    """Write one ``{"report": ..., "label": ...}`` JSON object per line."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for bug in dataset:
+            record = {"report": bug.report.to_dict(), "label": bug.label.to_dict()}
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_dataset_jsonl(path: str | Path) -> BugDataset:
+    """Read a dataset written by :func:`save_dataset_jsonl`."""
+    path = Path(path)
+    bugs: list[LabeledBug] = []
+    with path.open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                bugs.append(
+                    LabeledBug(
+                        report=BugReport.from_dict(record["report"]),
+                        label=BugLabel.from_dict(record["label"]),
+                    )
+                )
+            except (KeyError, ValueError) as exc:
+                raise CorpusError(
+                    f"{path}:{line_number}: malformed dataset record: {exc}"
+                ) from exc
+    return BugDataset(bugs)

@@ -1,0 +1,303 @@
+"""Bug-description text templates with category-specific vocabulary.
+
+Each taxonomy category owns a distinct phrase pool.  This is deliberate and
+faithful to the paper: SS VII-B observes that "specific classes of bugs have
+unique topics or keywords in the bug description" (memory bugs mention null
+pointers, concurrency fixes mention synchronization, third-party bugs name
+libraries).  The pools below realize that structure, which is what lets the
+from-scratch NLP pipeline reach paper-like accuracy — and, per the paper,
+*fix* strategies are given almost no vocabulary of their own, reproducing the
+finding that fixes cannot be predicted from descriptions.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.taxonomy import (
+    BugType,
+    ByzantineMode,
+    ConfigSubcategory,
+    ExternalCallKind,
+    RootCause,
+    Symptom,
+    Trigger,
+)
+from repro.taxonomy.label import BugLabel
+
+# -- controller-specific component vocabulary --------------------------------
+CONTROLLER_COMPONENTS: dict[str, list[str]] = {
+    "FAUCET": [
+        "valve pipeline", "gauge poller", "acl manager", "vlan table",
+        "dp config parser", "stack topology module", "port manager",
+        "mirroring interface", "bgp speaker integration", "prometheus exporter",
+    ],
+    "ONOS": [
+        "intent subsystem", "cluster store", "flowrule manager",
+        "mastership service", "raft partition store", "gui topology view",
+        "packet service", "device subsystem", "link discovery provider",
+        "segment routing app", "netcfg subsystem", "leadership elector",
+    ],
+    "CORD": [
+        "xos orchestrator", "voltha adapter", "olt device handler",
+        "onu activation workflow", "fabric crossconnect", "vtn service",
+        "rcord subscriber pipeline", "multicast handler", "host handler",
+        "dhcp l2 relay", "igmp proxy", "aaa authentication app",
+    ],
+}
+
+_EXTERNAL_LIBRARIES: dict[str, list[str]] = {
+    "FAUCET": ["ryu", "chewie", "influxdb client", "eventlet", "pyyaml", "beka",
+               "prometheus_client", "msgpack"],
+    "ONOS": ["karaf", "netty", "atomix", "ovsdb library", "grpc runtime",
+             "snmp4j", "jackson"],
+    "CORD": ["openstack nova client", "docker daemon api", "xos toscalib",
+             "kafka client", "redis driver", "ansible runner"],
+}
+
+# -- trigger sentences --------------------------------------------------------
+_TRIGGER_PHRASES: dict[Trigger, list[str]] = {
+    Trigger.CONFIGURATION: [
+        "After editing the {cfgword} and reloading, the {component} misbehaved.",
+        "Pushing a new {cfgword} through the management interface exposed the fault.",
+        "A change to the {cfgword} was applied at runtime and immediately surfaced this.",
+        "Reloading the {cfgword} with an extra stanza for a new tenant caused it.",
+        "The fault appears whenever the {cfgword} contains an interface range entry.",
+    ],
+    Trigger.EXTERNAL_CALLS: [
+        "While invoking {library} the {component} received an unexpected result.",
+        "The call into {library} returned a payload the {component} could not handle.",
+        "After upgrading {library} to the latest release the {component} started failing.",
+        "An rpc roundtrip to {library} surfaced the fault in the {component}.",
+        "The {component} makes a function call into {library} and the contract changed.",
+    ],
+    Trigger.NETWORK_EVENTS: [
+        "When a burst of packet_in openflow messages arrived, the {component} misstepped.",
+        "A flood of port_status openflow events from the switch exposed the fault.",
+        "On receiving a flow_removed openflow message the {component} mishandled state.",
+        "A switch reconnect generated echo and features_reply messages that hit this path.",
+        "Link flap events propagated to the {component} and triggered the fault.",
+    ],
+    Trigger.HARDWARE_REBOOTS: [
+        "After the {hwdevice} rebooted unexpectedly, the {component} never recovered.",
+        "A power cycle of the {hwdevice} left the {component} in a bad state.",
+        "Rebooting the {hwdevice} during activation reproduces it reliably.",
+        "The {hwdevice} restarted for firmware upgrade and the {component} lost its binding.",
+    ],
+}
+
+_CFG_WORDS: dict[ConfigSubcategory, list[str]] = {
+    ConfigSubcategory.CONTROLLER: [
+        "controller yaml config", "faucet.yaml", "network-cfg.json",
+        "cluster configuration file", "controller properties file",
+    ],
+    ConfigSubcategory.DATA_PLANE: [
+        "switch datapath config", "openflow table pipeline config",
+        "port vlan assignment config", "dataplane interface config",
+    ],
+    ConfigSubcategory.THIRD_PARTY: [
+        "influxdb connection settings", "openstack service config",
+        "docker compose manifest", "kafka topic configuration",
+        "external database settings",
+    ],
+}
+
+_HW_DEVICES = [
+    "olt chassis", "onu terminal", "leaf switch", "spine switch",
+    "optical line card", "whitebox tor switch",
+]
+
+# -- root-cause sentences -----------------------------------------------------
+_ROOT_CAUSE_PHRASES: dict[RootCause, list[str]] = {
+    RootCause.LOAD: [
+        "Under heavy load with hundreds of switches the queue backlog grows without bound.",
+        "At scale the request rate overwhelms the batching layer and backpressure never kicks in.",
+        "High churn of events saturates the worker pool and requests pile up.",
+        "Memory and cpu pressure under sustained load pushes the system past its limits.",
+    ],
+    RootCause.CONCURRENCY: [
+        "Two interleaved threads race on the shared map without holding the lock.",
+        "A race condition between the event loop and the writer thread corrupts ordering.",
+        "The callback runs concurrently with teardown and observes a half initialized object.",
+        "Lock contention on the global interpreter lock serializes the supposedly parallel workers.",
+    ],
+    RootCause.MEMORY: [
+        "A null pointer exception is thrown because the reference was never initialized.",
+        "The heap grows steadily and an out of memory error eventually kills the process.",
+        "A leak in the cache retains every expired entry and exhausts memory.",
+        "Dereferencing the stale object after eviction raises a null pointer exception.",
+    ],
+    RootCause.MISSING_LOGIC: [
+        "There is no code path handling this edge case so the state machine falls through.",
+        "The handler lacks a check for the empty list and proceeds with garbage.",
+        "An unhandled edge case: the branch for mirrored ports was simply never written.",
+        "Validation logic for this input shape is absent entirely.",
+    ],
+    RootCause.HUMAN_MISCONFIGURATION: [
+        "The operator supplied a value with the wrong unit and nothing rejected it.",
+        "A typo in the stanza name meant the intended section was silently ignored.",
+        "The deployment used a copy pasted config with mismatched vlan ids.",
+        "An administrator enabled both modes at once which the manual forbids.",
+    ],
+    RootCause.ECOSYSTEM_THIRD_PARTY: [
+        "The third party service changed its wire format between releases.",
+        "A datatype mismatch with the external database driver corrupts the write path.",
+        "The upstream library deprecated the api we depend on.",
+        "Version skew against the third party daemon breaks the handshake.",
+    ],
+    RootCause.ECOSYSTEM_APP_LIBRARY: [
+        "The application library raises a new exception class the caller never expects.",
+        "An argument order change in the helper library flips two parameters silently.",
+        "The packaged library pins an incompatible transitive dependency.",
+    ],
+    RootCause.ECOSYSTEM_SYSTEM_CALL: [
+        "The syscall returns eagain under cgroup limits and the wrapper treats it as fatal.",
+        "A kernel timer fires late and the epoll wrapper misinterprets the timeout.",
+        "File descriptor exhaustion makes the socket accept call fail in a new way.",
+    ],
+}
+
+# -- symptom sentences ----------------------------------------------------------
+_SYMPTOM_PHRASES: dict[Symptom, list[str]] = {
+    Symptom.FAIL_STOP: [
+        "The controller process crashed with a fatal traceback and had to be restarted.",
+        "The whole controller exits immediately, taking the network control plane down.",
+        "We observe a hard crash: the daemon aborts and systemd shows it dead.",
+        "It core dumps and the cluster member is gone until manual restart.",
+    ],
+    Symptom.BYZANTINE: [],  # refined by mode below
+    Symptom.ERROR_MESSAGE: [
+        "A scary looking error message is logged repeatedly but forwarding is unaffected.",
+        "The log fills with stack traces yet every feature keeps functioning normally.",
+        "Only symptom is a spurious warning banner in the log output.",
+        "An exception message appears once per reload with no operational impact.",
+    ],
+    Symptom.PERFORMANCE: [
+        "Flow setup latency increased by an order of magnitude.",
+        "Throughput of the api drops sharply and requests take seconds instead of millis.",
+        "CPU sits at full utilization and event processing lags far behind.",
+        "End to end provisioning time regressed badly after this point.",
+    ],
+}
+
+_BYZANTINE_PHRASES: dict[ByzantineMode, list[str]] = {
+    ByzantineMode.GRAY_FAILURE: [
+        "Part of the functionality still works: unicast flows are fine but broadcast handling is broken.",
+        "A partial outage: the rest api answers while topology updates silently stop.",
+        "Some subsystems keep working, others are dead; health checks still pass.",
+        "Gray failure: existing flows forward but no new host can be learned.",
+    ],
+    ByzantineMode.STALL: [
+        "The controller freezes for minutes at a time and then resumes as if nothing happened.",
+        "Processing stalls: the main loop stops consuming events until it is poked.",
+        "Everything hangs waiting on the adapter and never times out.",
+        "The api stops responding temporarily; threads are stuck in a wait.",
+    ],
+    ByzantineMode.INCORRECT_BEHAVIOR: [
+        "Traffic is forwarded to the wrong port even though the policy says otherwise.",
+        "The computed path is wrong: packets loop between two switches.",
+        "It installs an incorrect flow match mask so the wrong packets are dropped.",
+        "State shown in the ui disagrees with what is actually programmed on the switch.",
+    ],
+}
+
+# -- determinism sentences ------------------------------------------------------
+_DETERMINISM_PHRASES: dict[BugType, list[str]] = {
+    BugType.DETERMINISTIC: [
+        "Reproducible every single time with the steps above.",
+        "Happens deterministically on every attempt in a clean environment.",
+        "One hundred percent reproducible given the same input sequence.",
+    ],
+    BugType.NON_DETERMINISTIC: [
+        "Happens intermittently; we could not reproduce it on demand.",
+        "Occurs roughly once a week with no discernible pattern.",
+        "Replaying the same events does not reproduce it; timing dependent.",
+    ],
+}
+
+# -- external-call kind hints ---------------------------------------------------
+_EXTERNAL_KIND_PHRASES: dict[ExternalCallKind, list[str]] = {
+    ExternalCallKind.SYSTEM_CALLS: [
+        "Strace shows the failing system call just before the fault.",
+        "The kernel interface is involved: it reproduces only under that syscall path.",
+    ],
+    ExternalCallKind.THIRD_PARTY_CALLS: [
+        "The third party service logs show the mismatched request arriving.",
+        "Disabling the external service integration makes the problem vanish.",
+    ],
+    ExternalCallKind.APPLICATION_CALLS: [
+        "The application library call site is where the stack trace originates.",
+        "Pinning the application library to the previous minor release avoids it.",
+    ],
+}
+
+#: Fix-hint sentences are deliberately generic and heavily overlapping across
+#: strategies — the paper found "bug descriptions generally provide little
+#: data about the fixes", and reproducing that requires a weak fix signal.
+_FIX_HINT_PHRASES: list[str] = [
+    "A patch is under review.",
+    "We are discussing the right way to address this.",
+    "A change has been proposed upstream.",
+    "The team is looking into a resolution.",
+]
+
+
+def render_description(
+    controller: str, label: BugLabel, rng: random.Random
+) -> tuple[str, str]:
+    """Render ``(title, description)`` for a bug with the given label.
+
+    Sentence order is shuffled lightly and phrasing sampled, so no two bugs
+    share identical text, while category keywords stay class-consistent.
+    """
+    component = rng.choice(CONTROLLER_COMPONENTS[controller])
+    library = rng.choice(_EXTERNAL_LIBRARIES[controller])
+    hw_device = rng.choice(_HW_DEVICES)
+    cfg_sub = label.config_subcategory or ConfigSubcategory.CONTROLLER
+    cfgword = rng.choice(_CFG_WORDS[cfg_sub])
+
+    trigger_sentence = rng.choice(_TRIGGER_PHRASES[label.trigger]).format(
+        component=component, library=library, hwdevice=hw_device, cfgword=cfgword
+    )
+    cause_sentence = rng.choice(_ROOT_CAUSE_PHRASES[label.root_cause])
+    if label.symptom.value == "byzantine":
+        assert label.byzantine_mode is not None
+        symptom_sentence = rng.choice(_BYZANTINE_PHRASES[label.byzantine_mode])
+    else:
+        symptom_sentence = rng.choice(_SYMPTOM_PHRASES[label.symptom])
+    determinism_sentence = rng.choice(_DETERMINISM_PHRASES[label.bug_type])
+
+    sentences = [trigger_sentence, symptom_sentence, cause_sentence]
+    rng.shuffle(sentences)
+    sentences.append(determinism_sentence)
+    if label.external_kind is not None:
+        sentences.insert(
+            rng.randrange(len(sentences)),
+            rng.choice(_EXTERNAL_KIND_PHRASES[label.external_kind]),
+        )
+    if rng.random() < 0.4:
+        sentences.append(rng.choice(_FIX_HINT_PHRASES))
+
+    title = _render_title(component, label, rng)
+    return title, " ".join(sentences)
+
+
+_TITLE_VERBS: dict[Symptom, list[str]] = {
+    Symptom.FAIL_STOP: ["crashes", "dies", "aborts"],
+    Symptom.BYZANTINE: ["misbehaves", "partially fails", "acts up"],
+    Symptom.ERROR_MESSAGE: ["logs spurious errors", "spams warnings"],
+    Symptom.PERFORMANCE: ["slows down", "degrades badly"],
+}
+
+_TITLE_CONTEXT: dict[Trigger, list[str]] = {
+    Trigger.CONFIGURATION: ["after config reload", "on new configuration"],
+    Trigger.EXTERNAL_CALLS: ["when calling external service", "after dependency update"],
+    Trigger.NETWORK_EVENTS: ["under openflow event burst", "on switch reconnect"],
+    Trigger.HARDWARE_REBOOTS: ["after device reboot", "following power cycle"],
+}
+
+
+def _render_title(component: str, label: BugLabel, rng: random.Random) -> str:
+    verb = rng.choice(_TITLE_VERBS[label.symptom])
+    context = rng.choice(_TITLE_CONTEXT[label.trigger])
+    return f"{component} {verb} {context}"

@@ -1,0 +1,6 @@
+"""Word embeddings (SS II-C step 2): skip-gram Word2Vec from scratch."""
+
+from repro.embeddings.word2vec import Word2Vec
+from repro.embeddings.docvec import DocumentVectorizer
+
+__all__ = ["Word2Vec", "DocumentVectorizer"]

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TaxonomyError(ReproError):
+    """A bug label violates the taxonomy (unknown tag, >1 tag per dimension,
+    or an inconsistent sub-category)."""
+
+
+class TrackerError(ReproError):
+    """Invalid operation against an issue-tracker substrate."""
+
+
+class CorpusError(ReproError):
+    """Corpus generation or (de)serialization failure."""
+
+
+class NotFittedError(ReproError):
+    """A model was used before ``fit`` was called."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to make progress."""
+
+
+class CodeModelError(ReproError):
+    """Malformed code model handed to the smell analyzer."""
+
+
+class VersionError(ReproError):
+    """Unparseable version string or invalid version range."""
+
+
+class SimulationError(ReproError):
+    """Invalid simulator configuration or runtime misuse."""
+
+
+class ConfigurationError(SimulationError):
+    """A controller configuration failed validation (this is the *well
+    behaved* path; injected faults bypass validation on purpose)."""
+
+
+class InjectionError(ReproError):
+    """A fault specification cannot be applied to the given scenario."""
+
+
+class FrameworkError(ReproError):
+    """Unknown fault-tolerance framework or invalid capability query."""

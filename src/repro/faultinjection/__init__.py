@@ -1,0 +1,27 @@
+"""Taxonomy-driven fault injection (the paper's motivating application).
+
+The study's stated purpose for its taxonomy is to provide "the building
+blocks for designing representative and informed fault-injectors".  This
+package is that injector: a catalog of executable faults, one per
+(trigger, root-cause) cell the paper's corpus exhibits, each reproducing a
+representative failure inside :mod:`repro.sdnsim` — several of them the
+*named* bugs the paper discusses (FAUCET-1623, CORD-2470, FAUCET-355,
+VOL-549, CORD-1734).
+"""
+
+from repro.faultinjection.scenario import ScenarioResult, build_scenario, run_workload
+from repro.faultinjection.faults import FaultSpec, default_catalog
+from repro.faultinjection.campaign import CampaignResult, FaultCampaign
+from repro.faultinjection.cases import CASE_RUNNERS, run_case
+
+__all__ = [
+    "ScenarioResult",
+    "build_scenario",
+    "run_workload",
+    "FaultSpec",
+    "default_catalog",
+    "CampaignResult",
+    "FaultCampaign",
+    "CASE_RUNNERS",
+    "run_case",
+]

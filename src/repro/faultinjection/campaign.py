@@ -1,0 +1,108 @@
+"""Campaign runner: execute the fault catalog, compare against expectations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faultinjection.faults import FaultSpec, default_catalog
+from repro.sdnsim.observers import Outcome
+from repro.taxonomy import BugType, Symptom
+
+
+@dataclass
+class FaultResult:
+    """Outcome of one fault execution (possibly over several seeds)."""
+
+    spec: FaultSpec
+    outcomes: list[Outcome]
+
+    @property
+    def manifested(self) -> bool:
+        """Did the fault produce any non-healthy outcome?"""
+        return any(o.symptom is not None for o in self.outcomes)
+
+    @property
+    def manifestation_rate(self) -> float:
+        hits = sum(1 for o in self.outcomes if o.symptom is not None)
+        return hits / len(self.outcomes)
+
+    @property
+    def observed_symptoms(self) -> set[Symptom]:
+        return {o.symptom for o in self.outcomes if o.symptom is not None}
+
+    @property
+    def matches_expectation(self) -> bool:
+        """True when the expected symptom (and mode) was observed."""
+        for outcome in self.outcomes:
+            if outcome.symptom is not self.spec.expected_symptom:
+                continue
+            if (
+                self.spec.expected_mode is not None
+                and outcome.byzantine_mode is not self.spec.expected_mode
+            ):
+                continue
+            return True
+        return False
+
+
+@dataclass
+class CampaignResult:
+    """All fault results from one campaign."""
+
+    results: list[FaultResult] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def result_for(self, fault_id: str) -> FaultResult:
+        for result in self.results:
+            if result.spec.fault_id == fault_id:
+                return result
+        raise KeyError(fault_id)
+
+    @property
+    def expectation_match_rate(self) -> float:
+        matched = sum(1 for r in self.results if r.matches_expectation)
+        return matched / len(self.results)
+
+    def deterministic_results(self) -> list[FaultResult]:
+        return [
+            r for r in self.results if r.spec.bug_type is BugType.DETERMINISTIC
+        ]
+
+    def nondeterministic_results(self) -> list[FaultResult]:
+        return [
+            r for r in self.results if r.spec.bug_type is BugType.NON_DETERMINISTIC
+        ]
+
+
+class FaultCampaign:
+    """Run every catalog fault over ``seeds_per_fault`` seeds.
+
+    Deterministic faults should manifest on every seed; non-deterministic
+    ones only on some — the campaign verifies the taxonomy's determinism
+    dimension mechanically.
+    """
+
+    def __init__(
+        self,
+        catalog: list[FaultSpec] | None = None,
+        *,
+        seeds_per_fault: int = 3,
+        base_seed: int = 0,
+    ) -> None:
+        if seeds_per_fault < 1:
+            raise ValueError("seeds_per_fault must be >= 1")
+        self.catalog = list(catalog) if catalog is not None else default_catalog()
+        self.seeds_per_fault = seeds_per_fault
+        self.base_seed = base_seed
+
+    def run(self) -> CampaignResult:
+        campaign = CampaignResult()
+        for spec in self.catalog:
+            outcomes = [
+                spec.execute(self.base_seed + i)
+                for i in range(self.seeds_per_fault)
+            ]
+            campaign.results.append(FaultResult(spec=spec, outcomes=outcomes))
+        return campaign

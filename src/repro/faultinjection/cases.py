@@ -1,0 +1,139 @@
+"""Named case studies from the paper, each runnable as buggy vs fixed.
+
+``run_case("FAUCET-1623")`` returns the classified outcome of the buggy
+variant and of the patched variant, demonstrating that the fix actually
+removes the symptom inside the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import InjectionError
+from repro.faultinjection.scenario import ScenarioResult, build_scenario, run_workload
+from repro.sdnsim.observers import Outcome
+
+
+@dataclass(frozen=True)
+class CaseOutcome:
+    """Buggy-vs-fixed comparison for one named bug."""
+
+    case_id: str
+    buggy: Outcome
+    fixed: Outcome
+
+    @property
+    def fix_removes_symptom(self) -> bool:
+        """True when the fix downgrades the bug to (at most) a log message.
+
+        The paper treats error-message outcomes as having "no direct
+        operational impact" (SS IV), and several real fixes — e.g.
+        CORD-2470's guard — deliberately log instead of crashing.
+        """
+        from repro.taxonomy import Symptom
+
+        return self.buggy.symptom is not None and self.fixed.symptom in (
+            None,
+            Symptom.ERROR_MESSAGE,
+        )
+
+
+def _mirror_case(fixed: bool) -> ScenarioResult:
+    return run_workload(build_scenario(mirror_broadcast=fixed))
+
+
+def _multicast_case(fixed: bool) -> ScenarioResult:
+    return run_workload(
+        build_scenario(drop_config_keys=("multicast",), multicast_guard=fixed)
+    )
+
+
+def _gauge_case(fixed: bool) -> ScenarioResult:
+    return run_workload(build_scenario(gauge_cast_types=fixed, tsdb_api_version=2))
+
+
+def _voltha_case(fixed: bool) -> ScenarioResult:
+    scenario = build_scenario(adapter_timeout=30.0 if fixed else None)
+
+    def reboot(result: ScenarioResult) -> None:
+        result.scheduler.schedule(10.0, lambda: result.adapter.notify_reboot("olt-1"))
+
+    return run_workload(scenario, extra_events=reboot, duration=120.0)
+
+
+def _contention_case(fixed: bool) -> ScenarioResult:
+    # The CORD-1734 fix reduced the worker pool to 1.
+    return run_workload(
+        build_scenario(config_overrides={"workers": 1 if fixed else 8})
+    )
+
+
+class _ClusterScenario:
+    """Adapter exposing ``outcome()`` for the cluster case study."""
+
+    def __init__(self, fixed: bool) -> None:
+        from repro.sdnsim.clock import EventScheduler
+        from repro.sdnsim.cluster import ControllerCluster
+        from repro.sdnsim.observers import Outcome
+        from repro.taxonomy import ByzantineMode, Symptom
+
+        scheduler = EventScheduler()
+        cluster = ControllerCluster(
+            ["onos-1", "onos-2", "onos-3"],
+            scheduler,
+            quorum_counts_live_members=fixed,
+        )
+        for dpid in range(1, 7):
+            cluster.assign_mastership(dpid)
+        cluster.kill_instance("onos-1")
+        scheduler.run(until=30.0)
+        self.cluster = cluster
+        if cluster.is_wedged() or cluster.orphaned_devices():
+            self._outcome = Outcome(
+                symptom=Symptom.BYZANTINE,
+                byzantine_mode=ByzantineMode.GRAY_FAILURE,
+                detail=(
+                    f"cluster wedged={cluster.is_wedged()}, orphaned devices: "
+                    f"{cluster.orphaned_devices()}"
+                ),
+            )
+        else:
+            self._outcome = Outcome(symptom=None, detail="failover completed")
+
+    def outcome(self):
+        return self._outcome
+
+
+def _cluster_case(fixed: bool) -> _ClusterScenario:
+    """ONOS-5992: killing one instance fails the whole cluster.
+
+    The buggy quorum computation counts configured members, wedging all
+    mastership operations after a single death; the fix counts live members
+    and fails the dead node's devices over.
+    """
+    return _ClusterScenario(fixed)
+
+
+CASE_RUNNERS: dict[str, Callable[[bool], "ScenarioResult | _ClusterScenario"]] = {
+    "FAUCET-1623": _mirror_case,
+    "CORD-2470": _multicast_case,
+    "FAUCET-355": _gauge_case,
+    "VOL-549": _voltha_case,
+    "CORD-1734": _contention_case,
+    "ONOS-5992": _cluster_case,
+}
+
+
+def run_case(case_id: str) -> CaseOutcome:
+    """Execute one named case study in both variants."""
+    runner = CASE_RUNNERS.get(case_id)
+    if runner is None:
+        raise InjectionError(
+            f"unknown case {case_id!r}; known: {sorted(CASE_RUNNERS)}"
+        )
+    return CaseOutcome(
+        case_id=case_id,
+        buggy=runner(False).outcome(),
+        fixed=runner(True).outcome(),
+    )

@@ -1,0 +1,31 @@
+"""Fault-tolerance framework models and coverage evaluation (RQ5, SS VII-C).
+
+Capability models for the systems the paper surveys (Ravana, LegoSDN, SCL,
+RoseMary, SCOUT, JURY, DPQoAP, STS, SPHINX, Bouncer, plus the non-SDN
+Lock-in-Pop), executable recovery strategies (restart, replay, input
+filtering), and an evaluator that runs them against the fault-injection
+campaign to reproduce the paper's headline gap: most systems can *detect*
+bugs, recovery works for non-deterministic bugs, and recovery from
+*deterministic* bugs — the vast majority — remains largely unsolved.
+"""
+
+from repro.frameworks.registry import FrameworkModel, default_registry
+from repro.frameworks.strategies import (
+    InputFilterStrategy,
+    RecoveryAttempt,
+    ReplayStrategy,
+    RestartStrategy,
+)
+from repro.frameworks.evaluator import CoverageCell, CoverageReport, evaluate_coverage
+
+__all__ = [
+    "FrameworkModel",
+    "default_registry",
+    "InputFilterStrategy",
+    "RecoveryAttempt",
+    "ReplayStrategy",
+    "RestartStrategy",
+    "CoverageCell",
+    "CoverageReport",
+    "evaluate_coverage",
+]

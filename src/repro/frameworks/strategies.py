@@ -1,0 +1,204 @@
+"""Executable recovery strategies, validated against real fault re-execution.
+
+These mechanize the three recovery archetypes the surveyed systems use:
+
+* **Restart** (crash-restart, watchdogs): re-run after a failure.  The
+  environment — configuration files, library versions, device state — is
+  untouched, so a *deterministic* bug re-manifests immediately; only timing-
+  dependent bugs are masked.
+* **Replay** (Ravana-style replicated state machines): a replica replays the
+  event log.  Same property, stronger guarantee on ordering: deterministic
+  bugs replay deterministically, i.e. recovery fails.
+* **Input filtering / transformation** (Bouncer, LegoSDN): suppress or alter
+  the triggering input.  This *does* break deterministic bugs — but only
+  when the trigger is an observable input event (network events), not a
+  configuration or environment interaction.
+
+The evaluator uses these to ground the capability matrix mechanically
+instead of taking the literature's claims on faith.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faultinjection.faults import FaultSpec
+from repro.sdnsim.observers import Outcome
+from repro.taxonomy import Symptom, Trigger
+
+
+@dataclass(frozen=True)
+class RecoveryAttempt:
+    """The result of one detect-and-recover cycle against a fault."""
+
+    strategy: str
+    fault_id: str
+    detected: bool
+    recovered: bool
+    detail: str
+
+
+def _is_healthy(outcome: Outcome) -> bool:
+    return outcome.symptom is None or outcome.symptom is Symptom.ERROR_MESSAGE
+
+
+class RestartStrategy:
+    """Heartbeat detection + process restart.
+
+    Detection: fail-stop only (a heartbeat notices a dead process; stalls,
+    gray failures and wrong behaviour keep answering heartbeats).
+    Recovery: re-execute the scenario with a fresh process but the same
+    environment.  ``retries`` models supervised restart loops.
+    """
+
+    name = "restart"
+
+    def __init__(self, *, retries: int = 2) -> None:
+        self.retries = retries
+
+    def attempt(self, fault: FaultSpec, *, seed: int = 0) -> RecoveryAttempt:
+        first = fault.execute(seed)
+        detected = first.symptom is Symptom.FAIL_STOP
+        if not detected:
+            return RecoveryAttempt(
+                strategy=self.name,
+                fault_id=fault.fault_id,
+                detected=False,
+                recovered=False,
+                detail=f"heartbeat saw nothing (outcome: {first.detail})",
+            )
+        for retry in range(1, self.retries + 1):
+            # A restart re-runs with new timing (different seed); the
+            # persistent environment (config, library versions) is identical,
+            # which is exactly why deterministic bugs come right back.
+            outcome = fault.execute(seed + retry)
+            if _is_healthy(outcome):
+                return RecoveryAttempt(
+                    strategy=self.name,
+                    fault_id=fault.fault_id,
+                    detected=True,
+                    recovered=True,
+                    detail=f"restart #{retry} came up healthy",
+                )
+        return RecoveryAttempt(
+            strategy=self.name,
+            fault_id=fault.fault_id,
+            detected=True,
+            recovered=False,
+            detail=f"crashed again on every restart (x{self.retries})",
+        )
+
+
+class ReplayStrategy:
+    """Replicated-state-machine failover with event-log replay (Ravana).
+
+    Detection: fail-stop and stalls of the primary (the replica's liveness
+    protocol notices both).  Recovery: the replica replays the exact logged
+    events — same inputs, same order — so a deterministic bug re-executes
+    identically and the failover fails; only timing-dependent bugs are
+    masked by the replica's different runtime interleaving.
+    """
+
+    name = "replay"
+
+    def attempt(self, fault: FaultSpec, *, seed: int = 0) -> RecoveryAttempt:
+        first = fault.execute(seed)
+        detected = first.symptom is Symptom.FAIL_STOP or (
+            first.byzantine_mode is not None
+            and first.byzantine_mode.value == "stall"
+        )
+        if not detected:
+            return RecoveryAttempt(
+                strategy=self.name,
+                fault_id=fault.fault_id,
+                detected=False,
+                recovered=False,
+                detail=f"liveness protocol saw nothing (outcome: {first.detail})",
+            )
+        # Exact replay: identical seed = identical event sequence.  For a
+        # non-deterministic bug the *runtime* interleaving differs on the
+        # replica, modeled by perturbing the seed component that controls
+        # interleaving only.
+        replay_seed = seed if fault.bug_type.value == "deterministic" else seed + 101
+        outcome = fault.execute(replay_seed)
+        recovered = _is_healthy(outcome)
+        return RecoveryAttempt(
+            strategy=self.name,
+            fault_id=fault.fault_id,
+            detected=True,
+            recovered=recovered,
+            detail=(
+                "replica replay healthy"
+                if recovered
+                else "replica replayed the same failure"
+            ),
+        )
+
+
+class InputFilterStrategy:
+    """Input filtering / transformation (Bouncer, LegoSDN).
+
+    Detection: any symptomatic outcome that follows an observable input
+    event.  Recovery: re-run with the offending input suppressed — which is
+    only *possible* when the trigger is an input the filter sits in front
+    of (network events).  Configuration and environment triggers are not
+    inputs flowing through the filter, so the strategy cannot act on them —
+    the coverage gap the paper highlights.
+    """
+
+    name = "input_filter"
+
+    def attempt(self, fault: FaultSpec, *, seed: int = 0) -> RecoveryAttempt:
+        first = fault.execute(seed)
+        if first.symptom is None:
+            return RecoveryAttempt(
+                strategy=self.name,
+                fault_id=fault.fault_id,
+                detected=False,
+                recovered=False,
+                detail="no symptomatic outcome to correlate with an input",
+            )
+        if fault.trigger is not Trigger.NETWORK_EVENTS:
+            return RecoveryAttempt(
+                strategy=self.name,
+                fault_id=fault.fault_id,
+                detected=True,
+                recovered=False,
+                detail=(
+                    f"trigger {fault.trigger.value} does not pass through the "
+                    "input filter; nothing to suppress"
+                ),
+            )
+        if not fault.filterable:
+            return RecoveryAttempt(
+                strategy=self.name,
+                fault_id=fault.fault_id,
+                detected=True,
+                recovered=False,
+                detail=(
+                    "the triggering event is a network state change, not a "
+                    "filterable input message"
+                ),
+            )
+        # Suppressing the triggering event class: mechanically, the scenario
+        # without the fault's extra network events is the healthy baseline.
+        from repro.faultinjection.scenario import build_scenario, run_workload
+
+        baseline = run_workload(build_scenario(), seed=seed)
+        # Filtering sacrifices the (buggy) feature the input exercised, so
+        # feature checks tied to the suppressed input are waived: keep only
+        # core forwarding checks.
+        baseline.checks = [c for c in baseline.checks if c[0].startswith("forward")]
+        outcome = baseline.outcome()
+        recovered = _is_healthy(outcome)
+        return RecoveryAttempt(
+            strategy=self.name,
+            fault_id=fault.fault_id,
+            detected=True,
+            recovered=recovered,
+            detail=(
+                "suppressing the trigger restored core forwarding"
+                if recovered
+                else "core forwarding still broken after filtering"
+            ),
+        )

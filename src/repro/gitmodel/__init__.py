@@ -1,0 +1,21 @@
+"""Commit-history substrate and analyses (SS VI-B, Figs 10-11, Table IV)."""
+
+from repro.gitmodel.models import Commit, CommitHistory, Subsystem
+from repro.gitmodel.burn import burn_distribution, classify_commit
+from repro.gitmodel.deps import DependencyBurndown, RequirementsFile
+from repro.gitmodel.generators import (
+    FaucetHistoryGenerator,
+    onos_commits_per_release,
+)
+
+__all__ = [
+    "Commit",
+    "CommitHistory",
+    "Subsystem",
+    "burn_distribution",
+    "classify_commit",
+    "DependencyBurndown",
+    "RequirementsFile",
+    "FaucetHistoryGenerator",
+    "onos_commits_per_release",
+]

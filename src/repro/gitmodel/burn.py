@@ -1,0 +1,81 @@
+"""Burn analysis (SS VI-B, Fig 11): classify commits by functional subsystem.
+
+The paper applies this to FAUCET, whose compact modular layout makes commits
+attributable to one of three subsystems: configuration handling, network
+functionality, and external abstraction.  Classification is by touched-path
+prefix with a message-keyword fallback.
+"""
+
+from __future__ import annotations
+
+from repro.gitmodel.models import Commit, CommitHistory, Subsystem
+
+#: Path prefixes per subsystem (FAUCET-like layout).
+_PATH_RULES: dict[Subsystem, tuple[str, ...]] = {
+    Subsystem.CONFIGURATION: (
+        "faucet/config",
+        "faucet/conf",
+        "etc/",
+        "faucet/watcher_conf",
+    ),
+    Subsystem.NETWORK_FUNCTIONALITY: (
+        "faucet/valve",
+        "faucet/vlan",
+        "faucet/port",
+        "faucet/acl",
+        "faucet/router",
+        "faucet/switch",
+        "faucet/stack",
+    ),
+    Subsystem.EXTERNAL_ABSTRACTION: (
+        "faucet/gauge",
+        "faucet/external",
+        "requirements",
+        "faucet/prom",
+        "faucet/influx",
+        "adapters/",
+    ),
+}
+
+#: Message keywords per subsystem, used when no path rule matches.
+_KEYWORD_RULES: dict[Subsystem, tuple[str, ...]] = {
+    Subsystem.CONFIGURATION: ("config", "yaml", "option", "setting"),
+    Subsystem.NETWORK_FUNCTIONALITY: (
+        "vlan", "acl", "routing", "flow", "openflow", "switch", "port",
+        "forwarding", "stack",
+    ),
+    Subsystem.EXTERNAL_ABSTRACTION: (
+        "dependency", "ryu", "chewie", "influxdb", "prometheus", "upgrade",
+        "pin", "requirements",
+    ),
+}
+
+
+def classify_commit(commit: Commit) -> Subsystem | None:
+    """Subsystem a commit belongs to, or ``None`` if unclassifiable.
+
+    Path rules win over keyword rules; the first matching subsystem in enum
+    order is returned (path layouts are disjoint in practice).
+    """
+    for subsystem, prefixes in _PATH_RULES.items():
+        if any(commit.touches(prefix) for prefix in prefixes):
+            return subsystem
+    message = commit.message.lower()
+    for subsystem, keywords in _KEYWORD_RULES.items():
+        if any(keyword in message for keyword in keywords):
+            return subsystem
+    return None
+
+
+def burn_distribution(history: CommitHistory) -> dict[Subsystem, float]:
+    """Fig 11: share of classifiable commits per subsystem (sums to 1)."""
+    counts = {s: 0 for s in Subsystem}
+    total = 0
+    for commit in history:
+        subsystem = classify_commit(commit)
+        if subsystem is not None:
+            counts[subsystem] += 1
+            total += 1
+    if total == 0:
+        raise ValueError("no classifiable commits in history")
+    return {s: c / total for s, c in counts.items()}

@@ -1,0 +1,75 @@
+"""Dependency burn-down (Table IV): version churn in requirement files."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Iterable, Mapping
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class RequirementsFile:
+    """A snapshot of pinned dependencies at one commit."""
+
+    date: datetime
+    pins: Mapping[str, str]  # package -> version string
+
+    def version_of(self, package: str) -> str | None:
+        return self.pins.get(package)
+
+
+class DependencyBurndown:
+    """Count version changes per dependency across requirement snapshots.
+
+    A "version change" is any commit where a package's pinned version
+    differs from the previous snapshot (additions don't count; removals
+    don't count; re-additions at a new version do).
+    """
+
+    def __init__(self, snapshots: Iterable[RequirementsFile]) -> None:
+        self.snapshots = sorted(snapshots, key=lambda s: s.date)
+        if not self.snapshots:
+            raise ReproError("at least one requirements snapshot is required")
+
+    def version_changes(self) -> dict[str, int]:
+        """``{package: number_of_version_changes}`` across the history."""
+        changes: dict[str, int] = {}
+        previous: dict[str, str] = dict(self.snapshots[0].pins)
+        for pkg in previous:
+            changes.setdefault(pkg, 0)
+        for snapshot in self.snapshots[1:]:
+            for package, version in snapshot.pins.items():
+                changes.setdefault(package, 0)
+                old = previous.get(package)
+                if old is not None and old != version:
+                    changes[package] += 1
+            previous = dict(snapshot.pins)
+        return changes
+
+    def ranked(self) -> list[tuple[str, int]]:
+        """Table IV ordering: most-churned dependency first."""
+        return sorted(self.version_changes().items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def release_cycle_days(self, package: str) -> float | None:
+        """Mean days between version changes of ``package`` (None if <2)."""
+        change_dates: list[datetime] = []
+        previous_version: str | None = None
+        for snapshot in self.snapshots:
+            version = snapshot.version_of(package)
+            if (
+                version is not None
+                and previous_version is not None
+                and version != previous_version
+            ):
+                change_dates.append(snapshot.date)
+            if version is not None:
+                previous_version = version
+        if len(change_dates) < 2:
+            return None
+        spans = [
+            (b - a).total_seconds() / 86400.0
+            for a, b in zip(change_dates, change_dates[1:])
+        ]
+        return sum(spans) / len(spans)

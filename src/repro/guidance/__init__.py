@@ -1,0 +1,18 @@
+"""Operator guidance (RQ4): controller selection and diagnosis assistance."""
+
+from repro.guidance.selection import (
+    ControllerScore,
+    UseCase,
+    rank_controllers,
+    score_controller,
+)
+from repro.guidance.diagnosis import DiagnosisAssistant, DiagnosisSuggestion
+
+__all__ = [
+    "ControllerScore",
+    "UseCase",
+    "rank_controllers",
+    "score_controller",
+    "DiagnosisAssistant",
+    "DiagnosisSuggestion",
+]

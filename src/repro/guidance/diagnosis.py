@@ -1,0 +1,131 @@
+"""Diagnosis assistance (SS VII-B takeaway).
+
+The paper anticipates "a decision tree ... to help restrict and narrow the
+developer and operator efforts in diagnosis": given what an operator can
+observe about a new bug (its description, its symptom), predict the likely
+root cause and fix family.  This module trains that decision tree from the
+labeled corpus and surfaces the correlation rules (e.g. third-party trigger
+=> add-compatibility fix) as ranked suggestions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.correlation import pairwise_correlations
+from repro.corpus.dataset import BugDataset
+from repro.ml import DecisionTreeClassifier
+from repro.pipeline.autoclassifier import AutoClassifier, ClassifierKind
+
+
+@dataclass(frozen=True)
+class DiagnosisSuggestion:
+    """One ranked hypothesis for a dimension of a new bug."""
+
+    dimension: str
+    tag: str
+    confidence: float
+    rationale: str
+
+
+class DiagnosisAssistant:
+    """Train on a labeled corpus, then triage new bug descriptions.
+
+    ``diagnose`` runs text classifiers for the observable dimensions and
+    augments them with correlation rules mined from the corpus (SS VII-B):
+    once a trigger or symptom is predicted, strongly-correlated root causes
+    and fixes are suggested even when the text itself is uninformative
+    (which, for fixes, it usually is — the paper could not predict fixes
+    from descriptions, and neither can the text model alone).
+    """
+
+    #: Dimensions predicted directly from text, in prediction order.
+    TEXT_DIMENSIONS = ("symptom", "trigger", "bug_type")
+    #: Correlation strength below which a rule is not worth suggesting.
+    MIN_RULE_STRENGTH = 0.25
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self.seed = seed
+        self._classifiers: dict[str, AutoClassifier] = {}
+        self._rules: list = []
+        self._fitted = False
+
+    def fit(self, dataset: BugDataset) -> "DiagnosisAssistant":
+        """Train the per-dimension text classifiers and mine the rules."""
+        texts = dataset.texts()
+        for dimension in self.TEXT_DIMENSIONS:
+            classifier = AutoClassifier(kind=ClassifierKind.SVM, seed=self.seed)
+            classifier.fit(texts, dataset.labels(dimension))
+            self._classifiers[dimension] = classifier
+        self._rules = [
+            c
+            for c in pairwise_correlations(dataset)
+            if c.phi >= self.MIN_RULE_STRENGTH
+        ]
+        self._fitted = True
+        return self
+
+    def diagnose(self, description: str) -> list[DiagnosisSuggestion]:
+        """Ranked suggestions across dimensions for one bug description."""
+        if not self._fitted:
+            raise RuntimeError("DiagnosisAssistant.diagnose called before fit")
+        suggestions: list[DiagnosisSuggestion] = []
+        predicted: dict[str, str] = {}
+        for dimension, classifier in self._classifiers.items():
+            tag = classifier.predict([description])[0]
+            predicted[dimension] = tag
+            suggestions.append(
+                DiagnosisSuggestion(
+                    dimension=dimension,
+                    tag=tag,
+                    confidence=0.8,
+                    rationale="text classifier prediction",
+                )
+            )
+        # Correlation rules: propagate from predicted tags to other dimensions.
+        for rule in self._rules:
+            for src_dim, src_tag, dst_dim, dst_tag in (
+                (rule.dimension_a, rule.tag_a, rule.dimension_b, rule.tag_b),
+                (rule.dimension_b, rule.tag_b, rule.dimension_a, rule.tag_a),
+            ):
+                if predicted.get(src_dim) == src_tag and dst_dim not in predicted:
+                    suggestions.append(
+                        DiagnosisSuggestion(
+                            dimension=dst_dim,
+                            tag=dst_tag,
+                            confidence=min(0.75, rule.phi),
+                            rationale=(
+                                f"correlated with {src_dim}={src_tag} "
+                                f"(phi={rule.phi:.2f})"
+                            ),
+                        )
+                    )
+        return sorted(suggestions, key=lambda s: -s.confidence)
+
+
+def train_root_cause_tree(
+    dataset: BugDataset, *, max_depth: int = 6
+) -> DecisionTreeClassifier:
+    """The paper's anticipated decision tree: predict root cause from the
+    other (cheaply observable) label dimensions.
+
+    Features are one-hot encodings of symptom, trigger, bug type, and fix —
+    useful post-mortem, when those tags are known but the root cause needs
+    narrowing.
+    """
+    import numpy as np
+
+    dims = ("symptom", "trigger", "bug_type", "fix")
+    columns: list[list[str]] = [dataset.labels(d) for d in dims]
+    vocab: list[tuple[int, str]] = sorted(
+        {(i, v) for i, col in enumerate(columns) for v in col}
+    )
+    index = {pair: j for j, pair in enumerate(vocab)}
+    X = np.zeros((len(dataset), len(vocab)))
+    for row in range(len(dataset)):
+        for i, col in enumerate(columns):
+            X[row, index[(i, col[row])]] = 1.0
+    y = dataset.labels("root_cause")
+    tree = DecisionTreeClassifier(max_depth=max_depth, min_samples_leaf=2)
+    tree.fit(X, y)
+    return tree

@@ -1,0 +1,93 @@
+"""Controller-selection guidance (SS VII-A).
+
+The paper scores controllers on stability signals extracted from the bug
+corpus: the share of missing-logic bugs (immaturity), load-related bugs
+(scalability risk), fail-stop bugs (availability risk), and performance
+bugs.  Lower is better on every axis; the composite ranking reproduces the
+paper's recommendation (ONOS most stable, then CORD, with FAUCET suited
+only to its narrow slicing use case).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.corpus.dataset import BugDataset
+from repro.taxonomy import RootCause, Symptom
+
+
+class UseCase(enum.Enum):
+    """SDN use cases with different sensitivity profiles (Table VI text)."""
+
+    GENERAL_PURPOSE = "general_purpose"
+    TELCO_CENTRAL_OFFICE = "telco_central_office"
+    NETWORK_SLICING = "network_slicing"
+
+
+@dataclass(frozen=True)
+class ControllerScore:
+    """Per-controller stability signals (all shares in [0, 1])."""
+
+    controller: str
+    missing_logic_share: float
+    load_share: float
+    fail_stop_share: float
+    performance_share: float
+
+    @property
+    def composite(self) -> float:
+        """Weighted instability score; lower = more stable.
+
+        Missing logic and fail-stop weigh heaviest: they are respectively
+        the immaturity signal the paper uses against FAUCET and the
+        availability killer.
+        """
+        return (
+            0.35 * self.missing_logic_share
+            + 0.25 * self.load_share
+            + 0.30 * self.fail_stop_share
+            + 0.10 * self.performance_share
+        )
+
+
+def score_controller(dataset: BugDataset, controller: str) -> ControllerScore:
+    """Compute the stability signals for one controller."""
+    subset = dataset.by_controller(controller)
+    if len(subset) == 0:
+        raise ValueError(f"no bugs for controller {controller!r}")
+    n = len(subset)
+    missing = sum(
+        1 for b in subset if b.label.root_cause is RootCause.MISSING_LOGIC
+    )
+    load = sum(1 for b in subset if b.label.root_cause is RootCause.LOAD)
+    fail_stop = sum(1 for b in subset if b.label.symptom is Symptom.FAIL_STOP)
+    performance = sum(1 for b in subset if b.label.symptom is Symptom.PERFORMANCE)
+    return ControllerScore(
+        controller=controller,
+        missing_logic_share=missing / n,
+        load_share=load / n,
+        fail_stop_share=fail_stop / n,
+        performance_share=performance / n,
+    )
+
+
+#: Per-use-case suitability adjustments (paper SS VII-A):
+#: FAUCET is specialized for slicing; CORD targets the telco central office;
+#: using FAUCET outside slicing "will often yield missing functionality".
+_USE_CASE_BONUS: dict[UseCase, dict[str, float]] = {
+    UseCase.GENERAL_PURPOSE: {"ONOS": -0.05},
+    UseCase.TELCO_CENTRAL_OFFICE: {"CORD": -0.10},
+    UseCase.NETWORK_SLICING: {"FAUCET": -0.20},
+}
+
+
+def rank_controllers(
+    dataset: BugDataset, *, use_case: UseCase = UseCase.GENERAL_PURPOSE
+) -> list[ControllerScore]:
+    """Controllers ranked most-recommended first for ``use_case``."""
+    scores = [score_controller(dataset, c) for c in dataset.controllers]
+    bonus = _USE_CASE_BONUS.get(use_case, {})
+    return sorted(
+        scores, key=lambda s: s.composite + bonus.get(s.controller, 0.0)
+    )

@@ -1,0 +1,48 @@
+"""From-scratch machine-learning algorithms used by the pipeline (SS II-C).
+
+The paper explores SVM, Decision Tree, PCA, and AdaBoost on TF-IDF /
+Word2Vec features, plus NMF for keyword extraction.  The offline environment
+has no scikit-learn, so each algorithm is implemented here on numpy.
+"""
+
+from repro.ml.boosting import AdaBoostClassifier, DecisionStump
+from repro.ml.kmeans import KMeans
+from repro.ml.lda import LDA
+from repro.ml.logistic import LogisticRegression
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    precision_recall_f1,
+)
+from repro.ml.model_selection import KFold, cross_val_score, train_test_split
+from repro.ml.naive_bayes import GaussianNB, MultinomialNB
+from repro.ml.nmf import NMF
+from repro.ml.pca import PCA
+from repro.ml.preprocessing import L2Normalizer, LabelEncoder, StandardScaler
+from repro.ml.svm import LinearSVM
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "AdaBoostClassifier",
+    "DecisionStump",
+    "KMeans",
+    "LDA",
+    "LogisticRegression",
+    "accuracy_score",
+    "confusion_matrix",
+    "f1_score",
+    "precision_recall_f1",
+    "KFold",
+    "cross_val_score",
+    "train_test_split",
+    "GaussianNB",
+    "MultinomialNB",
+    "NMF",
+    "PCA",
+    "L2Normalizer",
+    "LabelEncoder",
+    "StandardScaler",
+    "LinearSVM",
+    "DecisionTreeClassifier",
+]

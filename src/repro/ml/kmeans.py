@@ -1,0 +1,102 @@
+"""k-means clustering with k-means++ initialization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding.
+
+    Used for exploratory clustering of bug-description embeddings (e.g. to
+    sanity-check that taxonomy categories form separable clusters).
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        n_init: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.n_init = n_init
+        self.seed = seed
+        self.cluster_centers_: np.ndarray | None = None
+        self.inertia_: float | None = None
+        self.labels_: np.ndarray | None = None
+
+    def _init_centers(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++: spread initial centers proportionally to squared distance."""
+        n = X.shape[0]
+        centers = [X[rng.integers(n)]]
+        for _ in range(1, self.n_clusters):
+            d2 = np.min(
+                ((X[:, None, :] - np.array(centers)[None, :, :]) ** 2).sum(axis=2),
+                axis=1,
+            )
+            total = d2.sum()
+            if total <= 0:
+                centers.append(X[rng.integers(n)])
+                continue
+            probs = d2 / total
+            centers.append(X[rng.choice(n, p=probs)])
+        return np.array(centers)
+
+    def fit(self, X: np.ndarray) -> "KMeans":
+        X = np.asarray(X, dtype=np.float64)
+        if X.shape[0] < self.n_clusters:
+            raise ValueError(
+                f"n_samples={X.shape[0]} < n_clusters={self.n_clusters}"
+            )
+        rng = np.random.default_rng(self.seed)
+        best_inertia = np.inf
+        best_centers: np.ndarray | None = None
+        best_labels: np.ndarray | None = None
+        for _ in range(self.n_init):
+            centers = self._init_centers(X, rng)
+            labels = np.zeros(X.shape[0], dtype=np.int64)
+            for _ in range(self.max_iter):
+                distances = ((X[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+                labels = np.argmin(distances, axis=1)
+                new_centers = centers.copy()
+                for cluster in range(self.n_clusters):
+                    members = X[labels == cluster]
+                    if len(members):
+                        new_centers[cluster] = members.mean(axis=0)
+                shift = float(np.max(np.abs(new_centers - centers)))
+                centers = new_centers
+                if shift < self.tol:
+                    break
+            inertia = float(
+                ((X - centers[labels]) ** 2).sum()
+            )
+            if inertia < best_inertia:
+                best_inertia = inertia
+                best_centers = centers
+                best_labels = labels
+        self.cluster_centers_ = best_centers
+        self.inertia_ = best_inertia
+        self.labels_ = best_labels
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Nearest-center assignment for each row of ``X``."""
+        if self.cluster_centers_ is None:
+            raise NotFittedError("KMeans.predict called before fit")
+        X = np.asarray(X, dtype=np.float64)
+        distances = ((X[:, None, :] - self.cluster_centers_[None, :, :]) ** 2).sum(axis=2)
+        return np.argmin(distances, axis=1)
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        self.fit(X)
+        assert self.labels_ is not None
+        return self.labels_

@@ -1,0 +1,109 @@
+"""Dataset splitting and cross-validation utilities.
+
+The paper validates the autoclassifier with a 2/3 train, 1/3 test split
+(SS II-C2); :func:`train_test_split` defaults to that ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.ml.metrics import accuracy_score
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: Sequence,
+    *,
+    train_fraction: float = 2.0 / 3.0,
+    seed: int = 0,
+    stratify: bool = True,
+) -> tuple[np.ndarray, np.ndarray, list, list]:
+    """Shuffle and split into ``(X_train, X_test, y_train, y_test)``.
+
+    With ``stratify=True`` (the default) each class keeps approximately the
+    same share in both splits — important here because several taxonomy
+    classes are rare (e.g. performance bugs, 4%).
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    X = np.asarray(X)
+    y = list(y)
+    if len(X) != len(y):
+        raise ValueError("X and y have different lengths")
+    rng = np.random.default_rng(seed)
+    if stratify:
+        train_idx: list[int] = []
+        test_idx: list[int] = []
+        by_class: dict[object, list[int]] = {}
+        for i, label in enumerate(y):
+            by_class.setdefault(label, []).append(i)
+        for indices in by_class.values():
+            indices = list(indices)
+            rng.shuffle(indices)
+            cut = max(1, int(round(len(indices) * train_fraction)))
+            if cut >= len(indices) and len(indices) > 1:
+                cut = len(indices) - 1
+            train_idx.extend(indices[:cut])
+            test_idx.extend(indices[cut:])
+        rng.shuffle(train_idx)
+        rng.shuffle(test_idx)
+    else:
+        order = rng.permutation(len(y))
+        cut = int(round(len(y) * train_fraction))
+        train_idx = list(order[:cut])
+        test_idx = list(order[cut:])
+    X_train = X[train_idx]
+    X_test = X[test_idx]
+    y_train = [y[i] for i in train_idx]
+    y_test = [y[i] for i in test_idx]
+    return X_train, X_test, y_train, y_test
+
+
+class KFold:
+    """Deterministic shuffled k-fold index generator."""
+
+    def __init__(self, n_splits: int = 3, *, seed: int = 0) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.seed = seed
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` for each fold."""
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"n_samples={n_samples} < n_splits={self.n_splits}"
+            )
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(n_samples)
+        folds = np.array_split(order, self.n_splits)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train, test
+
+
+def cross_val_score(
+    model_factory: Callable[[], object],
+    X: np.ndarray,
+    y: Sequence,
+    *,
+    n_splits: int = 3,
+    seed: int = 0,
+) -> list[float]:
+    """Accuracy per fold; ``model_factory`` builds a fresh estimator per fold.
+
+    Estimators must expose ``fit(X, y)`` and ``predict(X)``.
+    """
+    X = np.asarray(X)
+    y = list(y)
+    scores: list[float] = []
+    for train_idx, test_idx in KFold(n_splits, seed=seed).split(len(y)):
+        model = model_factory()
+        model.fit(X[train_idx], [y[i] for i in train_idx])  # type: ignore[attr-defined]
+        predictions = model.predict(X[test_idx])  # type: ignore[attr-defined]
+        scores.append(accuracy_score([y[i] for i in test_idx], predictions))
+    return scores

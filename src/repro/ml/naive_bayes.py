@@ -1,0 +1,116 @@
+"""Naive Bayes classifiers: multinomial (counts) and Gaussian (dense)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.ml.preprocessing import LabelEncoder
+
+
+class MultinomialNB:
+    """Multinomial naive Bayes with Laplace smoothing.
+
+    Suited to raw term-count or TF-IDF features (non-negative).
+    """
+
+    def __init__(self, *, alpha: float = 1.0) -> None:
+        if alpha <= 0:
+            raise ValueError("alpha must be > 0")
+        self.alpha = alpha
+        self._encoder: LabelEncoder | None = None
+        self.class_log_prior_: np.ndarray | None = None
+        self.feature_log_prob_: np.ndarray | None = None
+
+    @property
+    def classes_(self) -> list:
+        if self._encoder is None:
+            raise NotFittedError("MultinomialNB has not been fitted")
+        return self._encoder.classes_
+
+    def fit(self, X: np.ndarray, y: Sequence) -> "MultinomialNB":
+        X = np.asarray(X, dtype=np.float64)
+        if np.any(X < 0):
+            raise ValueError("MultinomialNB requires non-negative features")
+        encoder = LabelEncoder().fit(y)
+        y_idx = encoder.transform(y)
+        n_classes = len(encoder.classes_)
+        class_counts = np.bincount(y_idx, minlength=n_classes).astype(np.float64)
+        self.class_log_prior_ = np.log(class_counts / class_counts.sum())
+        feature_counts = np.zeros((n_classes, X.shape[1]))
+        for cls in range(n_classes):
+            feature_counts[cls] = X[y_idx == cls].sum(axis=0)
+        smoothed = feature_counts + self.alpha
+        self.feature_log_prob_ = np.log(smoothed / smoothed.sum(axis=1, keepdims=True))
+        self._encoder = encoder
+        return self
+
+    def predict_log_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.class_log_prior_ is None or self.feature_log_prob_ is None:
+            raise NotFittedError("MultinomialNB.predict called before fit")
+        X = np.asarray(X, dtype=np.float64)
+        joint = X @ self.feature_log_prob_.T + self.class_log_prior_
+        # Normalize with log-sum-exp for proper log-probabilities.
+        m = joint.max(axis=1, keepdims=True)
+        log_norm = m + np.log(np.exp(joint - m).sum(axis=1, keepdims=True))
+        return joint - log_norm
+
+    def predict(self, X: np.ndarray) -> list:
+        log_proba = self.predict_log_proba(X)
+        assert self._encoder is not None
+        return self._encoder.inverse_transform(np.argmax(log_proba, axis=1))
+
+
+class GaussianNB:
+    """Gaussian naive Bayes for dense real-valued features (e.g. embeddings)."""
+
+    def __init__(self, *, var_smoothing: float = 1e-9) -> None:
+        self.var_smoothing = var_smoothing
+        self._encoder: LabelEncoder | None = None
+        self.theta_: np.ndarray | None = None  # class means
+        self.var_: np.ndarray | None = None  # class variances
+        self.class_log_prior_: np.ndarray | None = None
+
+    @property
+    def classes_(self) -> list:
+        if self._encoder is None:
+            raise NotFittedError("GaussianNB has not been fitted")
+        return self._encoder.classes_
+
+    def fit(self, X: np.ndarray, y: Sequence) -> "GaussianNB":
+        X = np.asarray(X, dtype=np.float64)
+        encoder = LabelEncoder().fit(y)
+        y_idx = encoder.transform(y)
+        n_classes = len(encoder.classes_)
+        theta = np.zeros((n_classes, X.shape[1]))
+        var = np.zeros((n_classes, X.shape[1]))
+        counts = np.zeros(n_classes)
+        for cls in range(n_classes):
+            rows = X[y_idx == cls]
+            counts[cls] = len(rows)
+            theta[cls] = rows.mean(axis=0)
+            var[cls] = rows.var(axis=0)
+        var += self.var_smoothing * max(X.var(), 1e-12)
+        self.theta_ = theta
+        self.var_ = var
+        self.class_log_prior_ = np.log(counts / counts.sum())
+        self._encoder = encoder
+        return self
+
+    def predict(self, X: np.ndarray) -> list:
+        if self.theta_ is None or self.var_ is None or self.class_log_prior_ is None:
+            raise NotFittedError("GaussianNB.predict called before fit")
+        X = np.asarray(X, dtype=np.float64)
+        n_classes = self.theta_.shape[0]
+        joint = np.zeros((X.shape[0], n_classes))
+        for cls in range(n_classes):
+            log_likelihood = -0.5 * np.sum(
+                np.log(2.0 * np.pi * self.var_[cls])
+                + (X - self.theta_[cls]) ** 2 / self.var_[cls],
+                axis=1,
+            )
+            joint[:, cls] = self.class_log_prior_[cls] + log_likelihood
+        assert self._encoder is not None
+        return self._encoder.inverse_transform(np.argmax(joint, axis=1))

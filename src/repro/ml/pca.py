@@ -1,0 +1,63 @@
+"""Principal component analysis via singular value decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+
+class PCA:
+    """Project centered data onto its top principal components.
+
+    Components are deterministic up to sign; we fix signs so that the
+    largest-magnitude entry of each component is positive, making results
+    reproducible across runs and platforms.
+    """
+
+    def __init__(self, n_components: int) -> None:
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = n_components
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None  # (n_components, n_features)
+        self.explained_variance_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "PCA":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        n_samples, n_features = X.shape
+        k = min(self.n_components, n_features, n_samples)
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        _, s, vt = np.linalg.svd(centered, full_matrices=False)
+        components = vt[:k]
+        # Deterministic sign convention.
+        signs = np.sign(components[np.arange(k), np.argmax(np.abs(components), axis=1)])
+        signs[signs == 0.0] = 1.0
+        self.components_ = components * signs[:, None]
+        denominator = max(n_samples - 1, 1)
+        variance = (s**2) / denominator
+        self.explained_variance_ = variance[:k]
+        total = variance.sum()
+        self.explained_variance_ratio_ = (
+            variance[:k] / total if total > 0 else np.zeros(k)
+        )
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.components_ is None or self.mean_ is None:
+            raise NotFittedError("PCA.transform called before fit")
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self.mean_) @ self.components_.T
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, Z: np.ndarray) -> np.ndarray:
+        """Map projected points back to the original feature space."""
+        if self.components_ is None or self.mean_ is None:
+            raise NotFittedError("PCA.inverse_transform called before fit")
+        return np.asarray(Z, dtype=np.float64) @ self.components_ + self.mean_

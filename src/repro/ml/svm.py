@@ -1,0 +1,137 @@
+"""Linear support vector machine trained with Pegasos-style SGD.
+
+Multi-class is handled one-vs-rest; prediction takes the argmax of the
+per-class decision values.  This is the classifier the paper found most
+accurate for bug type (96%) and symptom (86%) prediction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.ml.preprocessing import LabelEncoder
+
+
+class LinearSVM:
+    """One-vs-rest linear SVM with hinge loss and L2 regularization.
+
+    Parameters
+    ----------
+    regularization:
+        The lambda of the Pegasos objective
+        ``lambda/2 ||w||^2 + mean(hinge)``.  Smaller values fit harder.
+    epochs:
+        Full passes over the training data.
+    seed:
+        Shuffling seed; training is deterministic for a fixed seed.
+    """
+
+    def __init__(
+        self,
+        *,
+        regularization: float = 1e-3,
+        epochs: int = 40,
+        seed: int = 0,
+        class_weight: str | None = "balanced",
+    ) -> None:
+        if regularization <= 0:
+            raise ValueError("regularization must be > 0")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if class_weight not in (None, "balanced"):
+            raise ValueError("class_weight must be None or 'balanced'")
+        self.regularization = regularization
+        self.epochs = epochs
+        self.seed = seed
+        self.class_weight = class_weight
+        self._encoder: LabelEncoder | None = None
+        self.weights_: np.ndarray | None = None  # (n_classes, n_features)
+        self.bias_: np.ndarray | None = None  # (n_classes,)
+
+    @property
+    def classes_(self) -> list:
+        if self._encoder is None:
+            raise NotFittedError("LinearSVM has not been fitted")
+        return self._encoder.classes_
+
+    def fit(self, X: np.ndarray, y: Sequence) -> "LinearSVM":
+        """Train one binary SVM per class."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        encoder = LabelEncoder().fit(y)
+        y_idx = encoder.transform(y)
+        n_classes = len(encoder.classes_)
+        n_samples, n_features = X.shape
+        if n_samples != len(y_idx):
+            raise ValueError("X and y have different lengths")
+        weights = np.zeros((n_classes, n_features))
+        biases = np.zeros(n_classes)
+        rng = np.random.default_rng(self.seed)
+        for cls in range(n_classes):
+            target = np.where(y_idx == cls, 1.0, -1.0)
+            if self.class_weight == "balanced":
+                # Up-weight the rarer side so one-vs-rest does not collapse
+                # onto the majority class (symptom classes are imbalanced:
+                # byzantine 61% vs performance 4%).  The weight is capped:
+                # an uncapped near-empty class (1-5 samples) produces a
+                # binary SVM whose scores dwarf every other class in the
+                # argmax, flipping all predictions to the rarest label.
+                cap = 3.0
+                n_pos = max(int((target > 0).sum()), 1)
+                n_neg = max(n_samples - n_pos, 1)
+                sample_weight = np.where(
+                    target > 0,
+                    min(n_samples / (2.0 * n_pos), cap),
+                    min(n_samples / (2.0 * n_neg), cap),
+                )
+            else:
+                sample_weight = np.ones(n_samples)
+            w, b = self._fit_binary(X, target, sample_weight, rng)
+            weights[cls] = w
+            biases[cls] = b
+        self._encoder = encoder
+        self.weights_ = weights
+        self.bias_ = biases
+        return self
+
+    def _fit_binary(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, float]:
+        n_samples, n_features = X.shape
+        w = np.zeros(n_features)
+        b = 0.0
+        lam = self.regularization
+        t = 0
+        for _ in range(self.epochs):
+            order = rng.permutation(n_samples)
+            for i in order:
+                t += 1
+                eta = 1.0 / (lam * t)
+                margin = y[i] * (X[i] @ w + b)
+                w *= 1.0 - eta * lam
+                if margin < 1.0:
+                    step = eta * sample_weight[i] * y[i]
+                    w += step * X[i]
+                    b += step
+        return w, b
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Per-class raw scores, shape ``(n_samples, n_classes)``."""
+        if self.weights_ is None or self.bias_ is None:
+            raise NotFittedError("LinearSVM.decision_function called before fit")
+        X = np.asarray(X, dtype=np.float64)
+        return X @ self.weights_.T + self.bias_
+
+    def predict(self, X: np.ndarray) -> list:
+        """Predicted class labels (original label objects)."""
+        scores = self.decision_function(X)
+        assert self._encoder is not None
+        return self._encoder.inverse_transform(np.argmax(scores, axis=1))

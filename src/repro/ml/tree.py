@@ -1,0 +1,169 @@
+"""CART decision-tree classifier with Gini impurity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.ml.preprocessing import LabelEncoder
+
+
+@dataclass
+class _Node:
+    """Internal tree node; leaves have ``feature is None``."""
+
+    prediction: int
+    class_counts: np.ndarray
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p * p))
+
+
+class DecisionTreeClassifier:
+    """Binary-split CART tree.
+
+    Splits minimize weighted Gini impurity; candidate thresholds are the
+    midpoints between consecutive distinct sorted feature values.  To keep
+    training tractable on high-dimensional TF-IDF features, at most
+    ``max_thresholds`` candidate thresholds per feature are evaluated
+    (quantile-sampled).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_thresholds: int = 32,
+    ) -> None:
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_thresholds = max_thresholds
+        self._root: _Node | None = None
+        self._encoder: LabelEncoder | None = None
+        self._n_classes = 0
+
+    @property
+    def classes_(self) -> list:
+        if self._encoder is None:
+            raise NotFittedError("DecisionTreeClassifier has not been fitted")
+        return self._encoder.classes_
+
+    def fit(self, X: np.ndarray, y: Sequence) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        encoder = LabelEncoder().fit(y)
+        y_idx = encoder.transform(y)
+        self._n_classes = len(encoder.classes_)
+        self._encoder = encoder
+        self._root = self._build(X, y_idx, depth=0)
+        return self
+
+    def _leaf(self, y_idx: np.ndarray) -> _Node:
+        counts = np.bincount(y_idx, minlength=self._n_classes)
+        return _Node(prediction=int(np.argmax(counts)), class_counts=counts)
+
+    def _build(self, X: np.ndarray, y_idx: np.ndarray, depth: int) -> _Node:
+        node = self._leaf(y_idx)
+        if (
+            len(y_idx) < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or len(np.unique(y_idx)) == 1
+        ):
+            return node
+        split = self._best_split(X, y_idx)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y_idx[mask], depth + 1)
+        node.right = self._build(X[~mask], y_idx[~mask], depth + 1)
+        return node
+
+    def _candidate_thresholds(self, values: np.ndarray) -> np.ndarray:
+        distinct = np.unique(values)
+        if len(distinct) < 2:
+            return np.empty(0)
+        midpoints = (distinct[:-1] + distinct[1:]) / 2.0
+        if len(midpoints) > self.max_thresholds:
+            picks = np.linspace(0, len(midpoints) - 1, self.max_thresholds)
+            midpoints = midpoints[picks.astype(int)]
+        return midpoints
+
+    def _best_split(
+        self, X: np.ndarray, y_idx: np.ndarray
+    ) -> tuple[int, float] | None:
+        # Zero-gain splits are allowed (initial best is +inf, not the parent
+        # impurity): XOR-style targets need a first split that doesn't reduce
+        # Gini by itself.  Recursion still terminates because min_samples_leaf
+        # guarantees both children are non-empty.
+        best_score = np.inf
+        best: tuple[int, float] | None = None
+        n = len(y_idx)
+        for feature in range(X.shape[1]):
+            column = X[:, feature]
+            for threshold in self._candidate_thresholds(column):
+                mask = column <= threshold
+                n_left = int(mask.sum())
+                n_right = n - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                left_counts = np.bincount(y_idx[mask], minlength=self._n_classes)
+                right_counts = np.bincount(y_idx[~mask], minlength=self._n_classes)
+                score = (n_left * _gini(left_counts) + n_right * _gini(right_counts)) / n
+                if score < best_score - 1e-12:
+                    best_score = score
+                    best = (feature, float(threshold))
+        return best
+
+    def predict(self, X: np.ndarray) -> list:
+        """Predicted class labels for each row of ``X``."""
+        if self._root is None or self._encoder is None:
+            raise NotFittedError("DecisionTreeClassifier.predict called before fit")
+        X = np.asarray(X, dtype=np.float64)
+        indices = [self._predict_row(row) for row in X]
+        return self._encoder.inverse_transform(indices)
+
+    def _predict_row(self, row: np.ndarray) -> int:
+        node = self._root
+        assert node is not None
+        while not node.is_leaf:
+            assert node.left is not None and node.right is not None
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.prediction
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree (0 for a single leaf)."""
+        if self._root is None:
+            raise NotFittedError("DecisionTreeClassifier has not been fitted")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            assert node.left is not None and node.right is not None
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)

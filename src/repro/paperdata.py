@@ -1,0 +1,216 @@
+"""Every number the DSN'21 paper reports, as importable constants.
+
+These values are the calibration targets for the synthetic corpus generator
+(:mod:`repro.corpus`) and the comparison baselines for every benchmark in
+``benchmarks/``.  Each constant cites the paper section, table, or figure it
+comes from.  Percentages are stored as fractions in [0, 1].
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+
+# --------------------------------------------------------------------------
+# SS II-B: dataset sizes (critical bugs identified as of April 2020).
+# --------------------------------------------------------------------------
+CRITICAL_BUG_COUNTS = MappingProxyType(
+    {
+        "FAUCET": 251,
+        "ONOS": 186,
+        "CORD": 358,
+    }
+)
+
+#: Bugs manually analysed per controller (SS II-B: "randomly selected 50
+#: closed bugs from each controller").
+MANUAL_SAMPLE_PER_CONTROLLER = 50
+
+#: The automated analysis is verified against "over 500 critical bugs".
+EXTENDED_DATASET_MIN = 500
+
+#: SS VII-B: the whole Jira dataset is "~5X" the manually labeled dataset.
+WHOLE_DATASET_SCALE = 5.0
+
+# --------------------------------------------------------------------------
+# SS II-C: NLP validation (2/3 train, 1/3 test cross-validation).
+# --------------------------------------------------------------------------
+NLP_TRAIN_FRACTION = 2.0 / 3.0
+SVM_BUG_TYPE_ACCURACY = 0.96
+SVM_SYMPTOM_ACCURACY = 0.86
+
+# --------------------------------------------------------------------------
+# SS III (RQ1): determinism per controller.
+# --------------------------------------------------------------------------
+DETERMINISM_RATE = MappingProxyType(
+    {
+        "FAUCET": 0.96,
+        "ONOS": 0.94,
+        "CORD": 0.94,
+    }
+)
+
+# --------------------------------------------------------------------------
+# SS IV (RQ2): symptom marginals across the manual corpus.
+# --------------------------------------------------------------------------
+SYMPTOM_SHARE = MappingProxyType(
+    {
+        "byzantine": 0.6133,
+        "fail_stop": 0.20,
+        "error_message": 0.147,
+        "performance": 0.04,
+    }
+)
+
+#: Breakdown *within* byzantine failures (SS IV; the paper reports these as
+#: shares of the byzantine class: gray failures 52.17%, stalling 20.65%,
+#: incorrect behaviour 27.18%).
+BYZANTINE_MODE_SHARE = MappingProxyType(
+    {
+        "gray_failure": 0.5217,
+        "stall": 0.2065,
+        "incorrect_behavior": 0.2718,
+    }
+)
+
+# --------------------------------------------------------------------------
+# SS V-A (RQ3): trigger marginals across the manual corpus.
+# --------------------------------------------------------------------------
+TRIGGER_SHARE = MappingProxyType(
+    {
+        "configuration": 0.388,
+        "external_calls": 0.33,
+        "network_events": 0.198,
+        "hardware_reboots": 0.084,
+    }
+)
+
+#: Table III (configuration sub-categories, per controller).
+CONFIG_SUBCATEGORY_SHARE = MappingProxyType(
+    {
+        "FAUCET": MappingProxyType(
+            {"controller": 0.529, "data_plane": 0.117, "third_party": 0.354}
+        ),
+        "ONOS": MappingProxyType(
+            {"controller": 0.60, "data_plane": 0.15, "third_party": 0.25}
+        ),
+        "CORD": MappingProxyType(
+            {"controller": 0.642, "data_plane": 0.142, "third_party": 0.216}
+        ),
+    }
+)
+
+#: SS V-A: only 25% of configuration-triggered bugs are fixed by changing the
+#: configuration itself.
+CONFIG_BUGS_FIXED_BY_CONFIG = 0.25
+
+#: SS V-A: 41.4% of external-call bug fixes add compatibility (change calls /
+#: arguments to match the external API, or upgrade the package).
+EXTERNAL_CALL_COMPATIBILITY_FIX = 0.414
+
+# --------------------------------------------------------------------------
+# SS VII-A (RQ4): controller-selection statistics.
+# --------------------------------------------------------------------------
+#: FAUCET: 52.5% of bugs are due to missing logic.
+FAUCET_MISSING_LOGIC_SHARE = 0.525
+#: CORD vs ONOS load-related bugs: 30% vs 16%.
+LOAD_BUG_SHARE = MappingProxyType({"CORD": 0.30, "ONOS": 0.16})
+#: The paper's recommendation ordering (most to least stable/performant).
+CONTROLLER_RECOMMENDATION = ("ONOS", "CORD", "FAUCET")
+
+# --------------------------------------------------------------------------
+# SS VII-B: correlation analysis (Fig 12) and topic uniqueness (Fig 14).
+# --------------------------------------------------------------------------
+#: Fig 12: share of bug-category pairs that are only "fairly" correlated vs
+#: the strongly-correlated long tail.
+FAIRLY_CORRELATED_SHARE = 0.9372
+STRONGLY_CORRELATED_SHARE = 0.0628
+
+#: Fig 14 categories with the most unique topics (keyword vocabularies).
+TOPIC_UNIQUENESS_CATEGORIES = (
+    "deterministic",
+    "byzantine",
+    "add_synchronization",
+    "third_party_calls",
+)
+
+# --------------------------------------------------------------------------
+# Table VII: symptom shares across domains (SDN = this paper; Cloud and BGP
+# from the studies the paper compares against).  ``None`` marks "NA".
+# --------------------------------------------------------------------------
+CROSS_DOMAIN_SYMPTOMS = MappingProxyType(
+    {
+        "fail_stop": MappingProxyType({"SDN": 0.20, "Cloud": 0.59, "BGP": 0.39}),
+        "performance": MappingProxyType({"SDN": 0.04, "Cloud": 0.14, "BGP": None}),
+        "error_message": MappingProxyType({"SDN": 0.147, "Cloud": None, "BGP": None}),
+        "byzantine": MappingProxyType({"SDN": 0.6133, "Cloud": 0.25, "BGP": 0.38}),
+    }
+)
+
+# --------------------------------------------------------------------------
+# SS VI: software-engineering analysis.
+# --------------------------------------------------------------------------
+#: Fig 11: FAUCET core commits by functional subsystem.
+FAUCET_COMMIT_SHARE = MappingProxyType(
+    {
+        "configuration": 0.38,
+        "network_functionality": 0.35,
+        "external_abstraction": 0.27,
+    }
+)
+
+#: Table IV: FAUCET dependency burn-down (# of version changes in the
+#: requirements history) and the paper's one-line description.
+FAUCET_DEPENDENCY_BURNDOWN = MappingProxyType(
+    {
+        "ryu": (28, "component-based SDN framework"),
+        "chewie": (19, "802.1X standard implementation"),
+        "prometheus_client": (8, "monitoring system"),
+        "pyyaml": (6, "YAML parser"),
+        "eventlet": (5, "networking library"),
+        "beka": (5, "BGP speaker"),
+        "msgpack": (2, "binary serialization"),
+        "influxdb": (1, "time series database"),
+        "networkx": (1, "network analysis"),
+        "pbr": (1, "management of setuptools packaging"),
+        "pytricia": (1, "IP address lookup"),
+    }
+)
+
+#: SS VI-A: ONOS releases covered by the smell analysis (Fig 8) in order.
+ONOS_RELEASES = ("1.12", "1.13", "1.14", "1.15", "2.0", "2.1", "2.2", "2.3")
+
+#: SS VI-A: net.intent.impl class growth from ONOS 1.12 to 2.3.
+INTENT_IMPL_CLASSES = MappingProxyType({"1.12": 49, "2.3": 107})
+
+#: Fig 8 qualitative shapes, used by shape assertions in the benches.
+#:   - architecture smells (god component) roughly constant,
+#:   - unstable dependency steadily decreasing 1.12 -> 2.3,
+#:   - design smells spike between 1.12-1.14 then flat or declining.
+SMELL_TRENDS = MappingProxyType(
+    {
+        "god_component": "constant",
+        "unstable_dependency": "decreasing",
+        "insufficient_modularization": "spike_then_flat",
+        "broken_hierarchy": "spike_then_decline",
+        "hub_like_modularization": "low",
+        "missing_hierarchy": "low",
+    }
+)
+
+# --------------------------------------------------------------------------
+# Named bug case studies discussed in the paper.
+# --------------------------------------------------------------------------
+CASE_STUDIES = MappingProxyType(
+    {
+        "FAUCET-1623": "mirror interface fails to mirror output broadcast packets",
+        "CORD-2470": "misconfiguration causes null pointer crash in host/mcast handlers",
+        "CORD-1734": "global-lock thread contention degrades all API calls",
+        "FAUCET-355": "Gauge crashes on data-type mismatch with InfluxDB",
+        "VOL-549": "VOLTHA core stuck waiting for adapter after OLT reboot",
+        "ONOS-4859": "ineffective memory use under load",
+        "ONOS-5992": "killing one ONOS instance causes cluster failure",
+        "FAUCET-2399": "chewie update prevented FAUCET installation",
+        "CVE-2018-1000615": "outdated OVSDB enables denial of service on ONOS",
+        "ONOS-6594": "major upgrade re-parents Run under AsyncLeaderElector",
+    }
+)

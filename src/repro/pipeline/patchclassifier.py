@@ -1,0 +1,129 @@
+"""Fix classification from patch metadata (SS II-C1).
+
+The paper could not predict fix strategies from bug *descriptions* ("bug
+descriptions generally provide little data about the fixes") and instead
+verified fixes by "manually analyzing the source code patches".  This
+module automates that manual step: a rule-based classifier over Gerrit
+change metadata — files touched, subject wording, insertion/deletion
+balance — recovers the fix strategy that text classification cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.dataset import BugDataset
+from repro.taxonomy import FixCategory, FixStrategy
+from repro.trackers.models import GerritChange
+
+#: Subject keywords per strategy, checked in priority order (first match
+#: wins); chosen to mirror how developers actually title such changes.
+_SUBJECT_RULES: tuple[tuple[FixStrategy, tuple[str, ...]], ...] = (
+    (FixStrategy.ROLLBACK_UPGRADES, ("revert", "roll back", "rollback")),
+    (FixStrategy.ADD_SYNCHRONIZATION, ("lock", "synchroniz", "race", "mutex")),
+    (FixStrategy.ADD_COMPATIBILITY, ("adapt", "compat", "signature", "api of")),
+    (FixStrategy.UPGRADE_PACKAGES, ("bump", "upgrade", "update dependency")),
+    (FixStrategy.WORKAROUND, ("work around", "workaround", "guard against")),
+    (FixStrategy.FIX_CONFIGURATION, ("config", "default value")),
+    (FixStrategy.ADD_LOGIC, ("add handling", "handle", "add support")),
+)
+
+_DEPENDENCY_FILES = ("pom.xml", "requirements.txt", "versions.lock", "build.gradle")
+_CONFIG_SUFFIXES = (".yaml", ".yml", ".json", ".conf", ".ini", ".properties")
+
+
+@dataclass(frozen=True)
+class PatchPrediction:
+    """Predicted fix strategy with the rule that produced it."""
+
+    strategy: FixStrategy
+    rule: str
+
+    @property
+    def category(self) -> FixCategory:
+        return self.strategy.category
+
+
+class PatchFixClassifier:
+    """Rule-based fix-strategy classification from a Gerrit change."""
+
+    def classify(self, change: GerritChange) -> PatchPrediction:
+        subject = change.subject.lower()
+        files = [f.lower() for f in change.files_changed]
+        dependency_only = bool(files) and all(
+            any(f.endswith(dep) for dep in _DEPENDENCY_FILES) for f in files
+        )
+        config_only = bool(files) and all(
+            f.endswith(_CONFIG_SUFFIXES) for f in files
+        )
+
+        # File-shape rules first: they are the strongest signal.
+        if dependency_only:
+            if any(k in subject for k in ("revert", "roll back", "rollback")):
+                return PatchPrediction(
+                    FixStrategy.ROLLBACK_UPGRADES, "dependency files + revert subject"
+                )
+            return PatchPrediction(
+                FixStrategy.UPGRADE_PACKAGES, "only dependency manifests touched"
+            )
+        if config_only:
+            return PatchPrediction(
+                FixStrategy.FIX_CONFIGURATION, "only configuration files touched"
+            )
+
+        # Subject keyword rules.
+        for strategy, keywords in _SUBJECT_RULES:
+            if any(keyword in subject for keyword in keywords):
+                return PatchPrediction(strategy, f"subject keyword ({keywords[0]})")
+
+        # Diff-shape fallback: big additive changes are new logic; balanced
+        # medium changes with a manifest in the mix are compatibility work.
+        touches_deps = any(
+            any(f.endswith(dep) for dep in _DEPENDENCY_FILES) for f in files
+        )
+        if touches_deps:
+            return PatchPrediction(
+                FixStrategy.ADD_COMPATIBILITY, "source + manifest co-change"
+            )
+        if change.insertions >= 3 * max(change.deletions, 1):
+            return PatchPrediction(FixStrategy.ADD_LOGIC, "strongly additive diff")
+        return PatchPrediction(FixStrategy.WORKAROUND, "small balanced source diff")
+
+
+@dataclass
+class PatchEvaluation:
+    """Accuracy of patch-based fix classification on a labeled dataset."""
+
+    n_bugs: int
+    strategy_accuracy: float
+    category_accuracy: float
+    per_strategy: dict[FixStrategy, tuple[int, int]]  # (hits, total)
+
+
+def evaluate_patch_classifier(dataset: BugDataset) -> PatchEvaluation:
+    """Score the classifier on every bug carrying a Gerrit change."""
+    classifier = PatchFixClassifier()
+    strategy_hits = 0
+    category_hits = 0
+    per_strategy: dict[FixStrategy, list[int]] = {}
+    n = 0
+    for bug in dataset:
+        if not bug.report.gerrit_changes:
+            continue
+        n += 1
+        prediction = classifier.classify(bug.report.gerrit_changes[0])
+        truth = bug.label.fix
+        hit = prediction.strategy is truth
+        strategy_hits += hit
+        category_hits += prediction.category is truth.category
+        stats = per_strategy.setdefault(truth, [0, 0])
+        stats[0] += hit
+        stats[1] += 1
+    if n == 0:
+        raise ValueError("dataset has no bugs with Gerrit changes")
+    return PatchEvaluation(
+        n_bugs=n,
+        strategy_accuracy=strategy_hits / n,
+        category_accuracy=category_hits / n,
+        per_strategy={k: (v[0], v[1]) for k, v in per_strategy.items()},
+    )

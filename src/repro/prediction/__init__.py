@@ -1,0 +1,37 @@
+"""Log/metrics-based crash prediction (SS IV "New Research Directions").
+
+The paper: "for the failures that are due to load and ecosystem
+interactions, we may predict these crashes by analyzing metrics or existing
+syslogs ... it would be interesting to evaluate the potential of extending
+existing log-based failure prediction systems to SDNs".
+
+This package is that evaluation: a telemetry-trace substrate emitting the
+pre-crash signatures the simulator's fault models produce (memory ramps for
+leaks, latency/queue ramps for load, *no* warning at all for logic/config
+crashes), a windowed feature extractor, and a logistic-regression crash
+predictor.  The headline result matches the paper's intuition: load- and
+memory-driven crashes are predictable minutes in advance; missing-logic and
+configuration crashes are not — they arrive without telemetry warning.
+"""
+
+from repro.prediction.traces import (
+    CrashKind,
+    TelemetrySample,
+    TelemetryTrace,
+    TraceGenerator,
+)
+from repro.prediction.predictor import (
+    CrashPredictor,
+    PredictionReport,
+    evaluate_predictor,
+)
+
+__all__ = [
+    "CrashKind",
+    "TelemetrySample",
+    "TelemetryTrace",
+    "TraceGenerator",
+    "CrashPredictor",
+    "PredictionReport",
+    "evaluate_predictor",
+]

@@ -1,0 +1,12 @@
+"""Rendering helpers: ASCII tables, distributions, CDF series."""
+
+from repro.reporting.tables import ascii_table, format_percent, render_distribution
+from repro.reporting.registry import EXPERIMENTS, Experiment
+
+__all__ = [
+    "ascii_table",
+    "format_percent",
+    "render_distribution",
+    "EXPERIMENTS",
+    "Experiment",
+]

@@ -1,0 +1,292 @@
+"""Controller applications, each carrying an optional, named historical bug.
+
+Every app has a ``critical`` flag (does an unhandled exception crash the
+whole controller?) and, where the paper names a bug, a flag that selects the
+buggy or fixed behaviour:
+
+* :class:`MirrorApp` — FAUCET-1623: output broadcast packets are not
+  mirrored unless ``mirror_broadcast=True`` (the fix adds the case).
+* :class:`MulticastHandler` — CORD-2470: a missing configuration section
+  causes a null-pointer crash unless ``guard_config=True``.
+* :class:`StatsGauge` — FAUCET-355: stats are written to the TSDB as strings
+  unless ``cast_types=True``; against a v2 TSDB that raises and kills the
+  gauge component.
+"""
+
+from __future__ import annotations
+
+from repro.sdnsim.controller import ControllerRuntime
+from repro.sdnsim.messages import (
+    Action,
+    FlowMod,
+    Match,
+    Packet,
+    PacketIn,
+    PacketOut,
+    PORT_DROP,
+    PORT_FLOOD,
+)
+from repro.sdnsim.services import TimeSeriesDB
+
+
+class InputValidatorApp:
+    """Error-guarding logic at the event boundary (SS V-A takeaway).
+
+    The paper's broader takeaway: "these controllers lack sufficient code
+    for checking for valid inputs ... developers of the SDN controllers need
+    to introduce better error-guarding logic".  Placed first in the app
+    list, this validator vetoes malformed frames (missing/garbled ethernet
+    fields) before fragile handlers dereference them, logging instead of
+    crashing.
+    """
+
+    name = "input_validator"
+    critical = False
+
+    def __init__(self) -> None:
+        self.rejected = 0
+
+    def on_start(self, runtime: "ControllerRuntime") -> None:
+        pass
+
+    def on_packet_in(self, runtime: "ControllerRuntime", event: PacketIn):
+        packet = event.packet
+        for field_name in ("src_mac", "dst_mac"):
+            value = getattr(packet, field_name)
+            if not isinstance(value, str) or value.count(":") < 1:
+                self.rejected += 1
+                runtime.log_error(
+                    self.name,
+                    f"dropped malformed frame ({field_name}={value!r}) "
+                    f"from dpid {event.dpid} port {event.in_port}",
+                )
+                return False  # veto: downstream apps never see the frame
+        return None
+
+
+class L2LearningSwitch:
+    """MAC-learning forwarding: the controller's core network function."""
+
+    name = "forwarding"
+    critical = True
+
+    def __init__(self) -> None:
+        self.tables: dict[int, dict[str, int]] = {}
+
+    def on_start(self, runtime: ControllerRuntime) -> None:
+        for dpid in runtime.switches:
+            self.tables.setdefault(dpid, {})
+
+    def on_packet_in(self, runtime: ControllerRuntime, event: PacketIn) -> None:
+        table = self.tables.setdefault(event.dpid, {})
+        packet = event.packet
+        table[packet.src_mac] = event.in_port
+        if not packet.is_broadcast and packet.dst_mac in table:
+            out_port = table[packet.dst_mac]
+            runtime.install_flow(
+                FlowMod(
+                    dpid=event.dpid,
+                    match=Match(dst_mac=packet.dst_mac, vlan=packet.vlan),
+                    actions=(Action(out_port),),
+                )
+            )
+            runtime.send_packet_out(
+                PacketOut(
+                    dpid=event.dpid, packet=packet, actions=(Action(out_port),)
+                ),
+                in_port=event.in_port,
+            )
+        else:
+            runtime.send_packet_out(
+                PacketOut(
+                    dpid=event.dpid, packet=packet, actions=(Action(PORT_FLOOD),)
+                ),
+                in_port=event.in_port,
+            )
+
+    def on_port_status(self, runtime: ControllerRuntime, event) -> None:
+        if not event.is_up:
+            # Forget hosts learned behind a downed port.
+            table = self.tables.get(event.dpid, {})
+            for mac, port in list(table.items()):
+                if port == event.port:
+                    del table[mac]
+
+
+class AclApp:
+    """Installs drop rules from configuration at startup."""
+
+    name = "acl"
+    critical = False
+
+    def on_start(self, runtime: ControllerRuntime) -> None:
+        for rule in runtime.config.acl_rules:
+            for dpid in runtime.switches:
+                runtime.install_flow(
+                    FlowMod(
+                        dpid=dpid,
+                        match=Match(dst_mac=rule["dst_mac"]),
+                        actions=(Action(PORT_DROP),),
+                        priority=200,
+                    )
+                )
+
+
+class MirrorApp:
+    """Port mirroring: copy traffic seen on a monitored port to a mirror port.
+
+    FAUCET-1623: the buggy version handles unicast outputs but lacks the
+    branch for flooded (broadcast) outputs, so broadcast frames that egress
+    the monitored port are never copied to the mirror port — a gray failure
+    (unicast mirroring still works).  ``mirror_broadcast=True`` is the patch.
+    """
+
+    name = "mirror"
+    critical = False
+
+    def __init__(self, *, mirror_broadcast: bool = False) -> None:
+        self.mirror_broadcast = mirror_broadcast
+
+    def on_start(self, runtime: ControllerRuntime) -> None:
+        self._specs = {
+            int(dpid): dict(spec) for dpid, spec in runtime.config.mirror_specs.items()
+        }
+
+    def _spec(self, dpid: int) -> dict[str, int] | None:
+        return getattr(self, "_specs", {}).get(dpid)
+
+    def transform_actions(self, dpid: int, match: Match, actions):
+        """Add a mirror copy to unicast flows that output the monitored port."""
+        spec = self._spec(dpid)
+        if spec is None:
+            return actions
+        out = list(actions)
+        if any(a.output_port == spec["source_port"] for a in actions):
+            out.append(Action(spec["mirror_port"]))
+        return out
+
+    def transform_packet_out(self, dpid: int, packet: Packet, actions, in_port: int):
+        """Mirror packet-outs touching the monitored port.
+
+        The flood case is the FAUCET-1623 edge: a flooded frame *does* egress
+        the monitored port, but the buggy code never considers reserved
+        ports when looking for the monitored port in the action list.
+        """
+        spec = self._spec(dpid)
+        if spec is None:
+            return actions
+        out = list(actions)
+        touches_source = any(a.output_port == spec["source_port"] for a in actions)
+        floods_over_source = (
+            any(a.output_port == PORT_FLOOD for a in actions)
+            and in_port != spec["source_port"]
+        )
+        if touches_source:
+            out.append(Action(spec["mirror_port"]))
+        elif floods_over_source and self.mirror_broadcast:
+            out.append(Action(spec["mirror_port"]))
+        return out
+
+
+class MulticastHandler:
+    """IGMP-style group forwarding (CORD's host/mcast handler).
+
+    CORD-2470: with ``guard_config=False`` a missing ``multicast``
+    configuration section is dereferenced unconditionally, raising the
+    null-pointer error that crashed the CORD controller (this app is
+    ``critical``).  The fix guards the lookup and logs instead.
+    """
+
+    name = "multicast"
+    critical = True
+
+    MULTICAST_PREFIX = "01:00:5e"
+
+    def __init__(self, *, guard_config: bool = False) -> None:
+        self.guard_config = guard_config
+
+    def on_start(self, runtime: ControllerRuntime) -> None:
+        pass
+
+    def on_packet_in(self, runtime: ControllerRuntime, event: PacketIn) -> None:
+        packet = event.packet
+        if not packet.dst_mac.startswith(self.MULTICAST_PREFIX):
+            return
+        section = runtime.config.multicast
+        if self.guard_config:
+            if section is None or "groups" not in section:
+                runtime.log_error(
+                    self.name,
+                    f"no multicast group configured for {packet.dst_mac}; dropping",
+                )
+                return
+            groups = section["groups"]
+        else:
+            # CORD-2470: unguarded dereference of a possibly-absent section.
+            groups = section["groups"]  # type: ignore[index]
+        ports = groups.get(packet.dst_mac, ())
+        for port in ports:
+            runtime.send_packet_out(
+                PacketOut(dpid=event.dpid, packet=packet, actions=(Action(port),)),
+                in_port=event.in_port,
+            )
+
+
+class StatsGauge:
+    """Periodic port-stats export to a time-series DB (FAUCET's Gauge).
+
+    FAUCET-355: with ``cast_types=False`` counters are serialized as strings;
+    a v2 TSDB rejects them with a type error and the gauge component dies —
+    while forwarding continues (gray failure).  ``cast_types=True`` is the
+    compatibility fix.
+    """
+
+    name = "gauge"
+    critical = False
+
+    def __init__(
+        self,
+        tsdb: TimeSeriesDB,
+        *,
+        interval: float = 5.0,
+        cast_types: bool = False,
+    ) -> None:
+        self.tsdb = tsdb
+        self.interval = interval
+        self.cast_types = cast_types
+        self.polls = 0
+
+    def on_start(self, runtime: ControllerRuntime) -> None:
+        self._schedule(runtime)
+
+    def _schedule(self, runtime: ControllerRuntime) -> None:
+        runtime.scheduler.schedule(self.interval, lambda: self._poll(runtime))
+
+    def _poll(self, runtime: ControllerRuntime) -> None:
+        from repro.sdnsim.services import ServiceUnavailableError
+
+        if runtime.crashed or not runtime.component_ok.get(self.name, False):
+            return
+        self.polls += 1
+        try:
+            for dpid, switch in sorted(runtime.switches.items()):
+                for port_number in sorted(switch.ports):
+                    stats = switch.port_stats(port_number)
+                    fields = dict(stats.as_fields())
+                    if not self.cast_types:
+                        # FAUCET-355: the miscommunicated data type.
+                        fields = {k: str(v) for k, v in fields.items()}
+                    self.tsdb.write(
+                        f"port_stats.dp{dpid}.p{port_number}",
+                        fields,
+                        timestamp=runtime.scheduler.clock.now,
+                    )
+        except ServiceUnavailableError as exc:
+            # Transient backend outage: scary log line, retry next interval.
+            runtime.log_error(self.name, f"tsdb write failed, will retry: {exc}")
+        except Exception as exc:  # noqa: BLE001 - component fault boundary
+            runtime._fail_component(
+                self.name, f"{type(exc).__name__}: {exc}", critical=self.critical
+            )
+            return
+        self._schedule(runtime)

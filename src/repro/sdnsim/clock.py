@@ -1,0 +1,88 @@
+"""Simulated time and a discrete-event scheduler."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """Monotonic simulated clock (seconds as float)."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        if t < self._now:
+            raise SimulationError(f"clock cannot go backwards: {t} < {self._now}")
+        self._now = t
+
+
+class EventScheduler:
+    """Min-heap discrete-event loop over a :class:`SimClock`.
+
+    Callbacks scheduled at equal times run in scheduling order (a strictly
+    increasing sequence number breaks ties), which keeps runs deterministic.
+    """
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock or SimClock()
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` simulated seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        heapq.heappush(
+            self._heap, (self.clock.now + delay, next(self._sequence), callback)
+        )
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute simulated time ``when``."""
+        if when < self.clock.now:
+            raise SimulationError(f"cannot schedule in the past: {when}")
+        heapq.heappush(self._heap, (when, next(self._sequence), callback))
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        return self._processed
+
+    def run(self, *, until: float | None = None, max_events: int = 1_000_000) -> None:
+        """Drain the event heap.
+
+        ``until`` stops the loop once the next event lies beyond that time
+        (the clock still advances to ``until``).  ``max_events`` guards
+        against runaway feedback loops — exceeding it raises, because an
+        unbounded event cascade is a simulation bug, not a result.
+        """
+        events_run = 0
+        while self._heap:
+            when, _seq, callback = self._heap[0]
+            if until is not None and when > until:
+                self.clock.advance_to(until)
+                return
+            heapq.heappop(self._heap)
+            self.clock.advance_to(when)
+            callback()
+            self._processed += 1
+            events_run += 1
+            if events_run > max_events:
+                raise SimulationError(
+                    f"event cascade exceeded {max_events} events; "
+                    "likely a feedback loop in the scenario"
+                )
+        if until is not None:
+            self.clock.advance_to(until)

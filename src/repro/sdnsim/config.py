@@ -1,0 +1,94 @@
+"""Controller configuration: schema, validation, typed access.
+
+Validation is the *well-behaved* path; the fault injector deliberately
+constructs configurations that bypass validation (``validate=False``) to
+model latent misconfigurations reaching runtime code — the paper's dominant
+trigger class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+
+#: Top-level schema: key -> (expected type, required).
+_SCHEMA: dict[str, tuple[type, bool]] = {
+    "vlans": (dict, False),
+    "acls": (list, False),
+    "mirror": (dict, False),
+    "multicast": (dict, False),
+    "stats": (dict, False),
+    "workers": (int, False),
+}
+
+
+def validate_config(raw: Mapping[str, Any]) -> None:
+    """Validate a raw configuration mapping; raise on any violation."""
+    for key in raw:
+        if key not in _SCHEMA:
+            raise ConfigurationError(f"unknown configuration key {key!r}")
+    for key, (expected, required) in _SCHEMA.items():
+        if key not in raw:
+            if required:
+                raise ConfigurationError(f"missing required key {key!r}")
+            continue
+        if not isinstance(raw[key], expected):
+            raise ConfigurationError(
+                f"key {key!r} must be {expected.__name__}, "
+                f"got {type(raw[key]).__name__}"
+            )
+    mirror = raw.get("mirror", {})
+    for dpid, spec in mirror.items():
+        if not isinstance(spec, Mapping) or not {
+            "source_port",
+            "mirror_port",
+        } <= set(spec):
+            raise ConfigurationError(
+                f"mirror entry for dpid {dpid!r} needs source_port and mirror_port"
+            )
+    workers = raw.get("workers", 1)
+    if isinstance(workers, int) and workers < 1:
+        raise ConfigurationError("workers must be >= 1")
+    acls = raw.get("acls", [])
+    for i, rule in enumerate(acls):
+        if not isinstance(rule, Mapping) or "src_mac" not in rule or "dst_mac" not in rule:
+            raise ConfigurationError(f"acl rule {i} needs src_mac and dst_mac")
+
+
+@dataclass
+class ControllerConfig:
+    """Typed wrapper around the raw configuration mapping."""
+
+    raw: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def load(
+        cls, raw: Mapping[str, Any], *, validate: bool = True
+    ) -> "ControllerConfig":
+        """Build a config; ``validate=False`` admits latent misconfigurations
+        (used only by fault injection)."""
+        if validate:
+            validate_config(raw)
+        return cls(raw=dict(raw))
+
+    @property
+    def workers(self) -> int:
+        return int(self.raw.get("workers", 1))
+
+    @property
+    def mirror_specs(self) -> dict[int, dict[str, int]]:
+        return dict(self.raw.get("mirror", {}))
+
+    @property
+    def acl_rules(self) -> list[dict[str, str]]:
+        return list(self.raw.get("acls", []))
+
+    @property
+    def multicast(self) -> dict[str, Any] | None:
+        return self.raw.get("multicast")
+
+    @property
+    def stats(self) -> dict[str, Any]:
+        return dict(self.raw.get("stats", {}))

@@ -1,0 +1,137 @@
+"""OpenFlow-style control messages and data-plane packets.
+
+A deliberately small subset of OpenFlow 1.3 semantics: enough for flow-mod
+programming, packet-in/packet-out punting, port status, and liveness echoes
+— the message classes the paper's network-event-triggered bugs involve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+BROADCAST_MAC = "ff:ff:ff:ff:ff:ff"
+
+#: Pseudo-port constants (mirroring OpenFlow reserved ports).
+PORT_FLOOD = -1
+PORT_CONTROLLER = -2
+PORT_DROP = -3
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A data-plane frame."""
+
+    src_mac: str
+    dst_mac: str
+    vlan: int = 0
+    payload: str = ""
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst_mac == BROADCAST_MAC
+
+
+@dataclass(frozen=True)
+class Match:
+    """Flow-table match on (dst_mac, vlan); ``None`` wildcards a field."""
+
+    dst_mac: str | None = None
+    vlan: int | None = None
+
+    def matches(self, packet: Packet) -> bool:
+        if self.dst_mac is not None and packet.dst_mac != self.dst_mac:
+            return False
+        if self.vlan is not None and packet.vlan != self.vlan:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class Action:
+    """A forwarding action: output to a port (or FLOOD/CONTROLLER/DROP)."""
+
+    output_port: int
+
+
+# -- controller <-> switch messages -------------------------------------------
+@dataclass(frozen=True)
+class PacketIn:
+    """Switch punts an unmatched packet to the controller."""
+
+    dpid: int
+    in_port: int
+    packet: Packet
+
+
+@dataclass(frozen=True)
+class PacketOut:
+    """Controller tells the switch to emit a packet."""
+
+    dpid: int
+    packet: Packet
+    actions: tuple[Action, ...]
+
+
+@dataclass(frozen=True)
+class FlowMod:
+    """Controller installs/overwrites a flow entry."""
+
+    dpid: int
+    match: Match
+    actions: tuple[Action, ...]
+    priority: int = 100
+    idle_timeout: float = 0.0  # 0 = permanent
+
+
+@dataclass(frozen=True)
+class FlowRemoved:
+    """Switch notifies the controller that a flow expired."""
+
+    dpid: int
+    match: Match
+
+
+@dataclass(frozen=True)
+class PortStatus:
+    """Switch reports a port coming up or going down."""
+
+    dpid: int
+    port: int
+    is_up: bool
+
+
+@dataclass(frozen=True)
+class EchoRequest:
+    """Liveness probe from switch to controller."""
+
+    dpid: int
+    sequence: int
+
+
+@dataclass(frozen=True)
+class EchoReply:
+    """Controller's answer to an :class:`EchoRequest`."""
+
+    dpid: int
+    sequence: int
+
+
+@dataclass(frozen=True)
+class PortStats:
+    """Per-port counters exported by the stats app (FAUCET's Gauge)."""
+
+    dpid: int
+    port: int
+    rx_packets: int
+    tx_packets: int
+    rx_bytes: int
+    tx_bytes: int
+
+    def as_fields(self) -> Mapping[str, int]:
+        return {
+            "rx_packets": self.rx_packets,
+            "tx_packets": self.tx_packets,
+            "rx_bytes": self.rx_bytes,
+            "tx_bytes": self.tx_bytes,
+        }

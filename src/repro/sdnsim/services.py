@@ -1,0 +1,111 @@
+"""External services the controller integrates with.
+
+``TimeSeriesDB`` stands in for InfluxDB: api_version 1 coerced field values;
+api_version 2 rejects non-numeric fields with a type error — the contract
+change behind FAUCET-355 (Gauge crashing on a data-type mismatch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import SimulationError
+
+
+class ServiceTypeError(SimulationError):
+    """The external service rejected a write because of a field type."""
+
+
+class ServiceUnavailableError(SimulationError):
+    """The external service is down or unreachable."""
+
+
+@dataclass
+class DataPoint:
+    """One stored measurement row."""
+
+    measurement: str
+    fields: dict[str, float]
+    timestamp: float
+
+
+class TimeSeriesDB:
+    """A typed time-series store with a version-dependent write contract."""
+
+    def __init__(self, *, api_version: int = 2, available: bool = True) -> None:
+        if api_version not in (1, 2):
+            raise SimulationError(f"unsupported api_version {api_version}")
+        self.api_version = api_version
+        self.available = available
+        self.points: list[DataPoint] = []
+
+    def write(
+        self, measurement: str, fields: Mapping[str, object], *, timestamp: float
+    ) -> None:
+        """Store a row.
+
+        api_version 1 silently coerces stringly-typed numbers (the lenient
+        legacy behaviour); api_version 2 raises :class:`ServiceTypeError`
+        on any non-numeric field value.
+        """
+        if not self.available:
+            raise ServiceUnavailableError(f"tsdb is down (write to {measurement})")
+        coerced: dict[str, float] = {}
+        for key, value in fields.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+                raise ServiceTypeError(
+                    f"field {key!r} has unsupported type {type(value).__name__}"
+                )
+            if isinstance(value, str):
+                if self.api_version >= 2:
+                    raise ServiceTypeError(
+                        f"field {key!r} is a string; api v2 requires numeric fields"
+                    )
+                try:
+                    coerced[key] = float(value)
+                except ValueError:
+                    raise ServiceTypeError(
+                        f"field {key!r} is not parseable as a number: {value!r}"
+                    ) from None
+            else:
+                coerced[key] = float(value)
+        self.points.append(
+            DataPoint(measurement=measurement, fields=coerced, timestamp=timestamp)
+        )
+
+    def count(self, measurement: str | None = None) -> int:
+        if measurement is None:
+            return len(self.points)
+        return sum(1 for p in self.points if p.measurement == measurement)
+
+
+class AuthService:
+    """A RADIUS-like authentication service (802.1X via chewie in FAUCET).
+
+    ``api_version`` changes the expected credential argument order —
+    modelling the argument-order library break class of external-call bugs.
+    """
+
+    def __init__(self, *, api_version: int = 1, available: bool = True) -> None:
+        self.api_version = api_version
+        self.available = available
+        self._granted: set[str] = set()
+
+    def authenticate(self, first: str, second: str) -> bool:
+        """v1 expects ``(mac, secret)``; v2 flipped to ``(secret, mac)``.
+
+        Returns True and records the MAC on success; a caller compiled
+        against the wrong version silently authorizes garbage — an
+        incorrect-behaviour (byzantine) bug, not a crash.
+        """
+        if not self.available:
+            raise ServiceUnavailableError("auth service is down")
+        mac = first if self.api_version == 1 else second
+        if ":" not in mac:
+            return False
+        self._granted.add(mac)
+        return True
+
+    def is_authorized(self, mac: str) -> bool:
+        return mac in self._granted

@@ -1,0 +1,65 @@
+"""Structural metrics underlying the smell detectors."""
+
+from __future__ import annotations
+
+from repro.smells.model import ClassModel, CodeModel
+
+
+def class_fan_out(model: CodeModel, class_name: str) -> int:
+    """Number of *modeled* classes ``class_name`` depends on."""
+    cls = model.get_class(class_name)
+    return sum(1 for dep in cls.dependencies if dep in model)
+
+
+def class_fan_in(model: CodeModel, class_name: str) -> int:
+    """Number of modeled classes that depend on ``class_name``."""
+    return sum(
+        1 for other in model.iter_classes() if class_name in other.dependencies
+    )
+
+
+def weighted_methods_per_class(cls: ClassModel) -> int:
+    """WMC: sum of method cyclomatic complexities."""
+    return sum(m.complexity for m in cls.methods)
+
+
+def package_efferent_coupling(model: CodeModel, package: str) -> int:
+    """Ce: count of packages this package depends on."""
+    return len(model.package_dependencies()[package])
+
+
+def package_afferent_coupling(model: CodeModel, package: str) -> int:
+    """Ca: count of packages depending on this package."""
+    deps = model.package_dependencies()
+    return sum(1 for source, targets in deps.items() if package in targets)
+
+
+def package_instability(model: CodeModel, package: str) -> float:
+    """Martin's instability ``I = Ce / (Ca + Ce)``.
+
+    0 = maximally stable (everyone depends on it, it depends on nothing);
+    1 = maximally unstable.  Packages with no couplings report 1.0
+    (conventionally unstable: nothing pins them down).
+    """
+    deps = model.package_dependencies()
+    ce = len(deps[package])
+    ca = sum(1 for source, targets in deps.items() if package in targets)
+    if ca + ce == 0:
+        return 1.0
+    return ce / (ca + ce)
+
+
+def all_package_instabilities(model: CodeModel) -> dict[str, float]:
+    """Instability for every package, computed from one dependency pass."""
+    deps = model.package_dependencies()
+    afferent: dict[str, int] = {name: 0 for name in deps}
+    for source, targets in deps.items():
+        for target in targets:
+            if target in afferent:
+                afferent[target] += 1
+    result: dict[str, float] = {}
+    for name in deps:
+        ce = len(deps[name])
+        ca = afferent[name]
+        result[name] = 1.0 if ca + ce == 0 else ce / (ca + ce)
+    return result

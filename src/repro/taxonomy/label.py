@@ -1,0 +1,131 @@
+"""Bug labels: one tag per taxonomy dimension, with consistency checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.dimensions import (
+    BugType,
+    ByzantineMode,
+    ConfigSubcategory,
+    ExternalCallKind,
+    FixStrategy,
+    RootCause,
+    Symptom,
+    Trigger,
+)
+
+
+@dataclass(frozen=True)
+class BugLabel:
+    """A complete classification of one bug along Table I.
+
+    ``byzantine_mode`` refines :attr:`Symptom.BYZANTINE`; ``config_subcategory``
+    refines :attr:`Trigger.CONFIGURATION`; ``external_kind`` refines
+    :attr:`Trigger.EXTERNAL_CALLS`.  Refinements must only be present when the
+    parent tag is, which :func:`validate_label` enforces.
+    """
+
+    bug_type: BugType
+    root_cause: RootCause
+    symptom: Symptom
+    fix: FixStrategy
+    trigger: Trigger
+    byzantine_mode: ByzantineMode | None = None
+    config_subcategory: ConfigSubcategory | None = None
+    external_kind: ExternalCallKind | None = None
+
+    def __post_init__(self) -> None:
+        validate_label(self)
+
+    def to_dict(self) -> dict[str, str | None]:
+        """Serialize to a flat, JSON-friendly mapping of tag values."""
+        return {
+            "bug_type": self.bug_type.value,
+            "root_cause": self.root_cause.value,
+            "symptom": self.symptom.value,
+            "fix": self.fix.value,
+            "trigger": self.trigger.value,
+            "byzantine_mode": self.byzantine_mode.value if self.byzantine_mode else None,
+            "config_subcategory": (
+                self.config_subcategory.value if self.config_subcategory else None
+            ),
+            "external_kind": self.external_kind.value if self.external_kind else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BugLabel":
+        """Inverse of :meth:`to_dict`.
+
+        Raises :class:`TaxonomyError` on unknown tag values.
+        """
+        try:
+            return cls(
+                bug_type=BugType(data["bug_type"]),
+                root_cause=RootCause(data["root_cause"]),
+                symptom=Symptom(data["symptom"]),
+                fix=FixStrategy(data["fix"]),
+                trigger=Trigger(data["trigger"]),
+                byzantine_mode=(
+                    ByzantineMode(data["byzantine_mode"])
+                    if data.get("byzantine_mode")
+                    else None
+                ),
+                config_subcategory=(
+                    ConfigSubcategory(data["config_subcategory"])
+                    if data.get("config_subcategory")
+                    else None
+                ),
+                external_kind=(
+                    ExternalCallKind(data["external_kind"])
+                    if data.get("external_kind")
+                    else None
+                ),
+            )
+        except (KeyError, ValueError) as exc:
+            raise TaxonomyError(f"invalid label data: {exc}") from exc
+
+    def tags(self) -> dict[str, str]:
+        """All non-empty tag values keyed by dimension/refinement name."""
+        return {k: v for k, v in self.to_dict().items() if v is not None}
+
+
+def validate_label(label: BugLabel) -> None:
+    """Check taxonomy consistency; raise :class:`TaxonomyError` if violated.
+
+    Rules:
+      * refinements require their parent tag (byzantine mode needs a
+        BYZANTINE symptom, and so on);
+      * a BYZANTINE symptom must carry a mode — the paper always refines it;
+      * a misconfiguration root cause is only sensible for configuration or
+        external-call triggers (e.g. FAUCET-355's module miscommunication).
+    """
+    if label.byzantine_mode is not None and label.symptom is not Symptom.BYZANTINE:
+        raise TaxonomyError(
+            f"byzantine_mode={label.byzantine_mode.value} requires symptom=byzantine, "
+            f"got {label.symptom.value}"
+        )
+    if label.symptom is Symptom.BYZANTINE and label.byzantine_mode is None:
+        raise TaxonomyError("byzantine symptom requires a byzantine_mode refinement")
+    if (
+        label.config_subcategory is not None
+        and label.trigger is not Trigger.CONFIGURATION
+    ):
+        raise TaxonomyError(
+            "config_subcategory requires trigger=configuration, "
+            f"got {label.trigger.value}"
+        )
+    if label.external_kind is not None and label.trigger is not Trigger.EXTERNAL_CALLS:
+        raise TaxonomyError(
+            f"external_kind requires trigger=external_calls, got {label.trigger.value}"
+        )
+    if label.root_cause is RootCause.HUMAN_MISCONFIGURATION and label.trigger not in (
+        Trigger.CONFIGURATION,
+        Trigger.EXTERNAL_CALLS,
+    ):
+        raise TaxonomyError(
+            "human_misconfiguration root cause requires a configuration or "
+            f"external_calls trigger, got {label.trigger.value}"
+        )

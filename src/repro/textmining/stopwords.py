@@ -1,0 +1,28 @@
+"""English stop-word list used by the bug-description tokenizer.
+
+A compact list tuned for issue-tracker text: common function words plus
+tracker boilerplate ("steps", "reproduce", "version") that carries no class
+signal.  Domain words ("controller", "switch", "flow") are deliberately kept.
+"""
+
+from __future__ import annotations
+
+ENGLISH_STOPWORDS: frozenset[str] = frozenset(
+    """
+    a about above after again against all am an and any are aren as at be
+    because been before being below between both but by can cannot could
+    couldn did didn do does doesn doing don down during each few for from
+    further had hadn has hasn have haven having he her here hers herself him
+    himself his how i if in into is isn it its itself just me more most
+    mustn my myself no nor not now of off on once only or other our ours
+    ourselves out over own same shan she should shouldn so some such than
+    that the their theirs them themselves then there these they this those
+    through to too under until up very was wasn we were weren what when
+    where which while who whom why will with won would wouldn you your yours
+    yourself yourselves
+    also seems seem like get got getting see saw want try tried trying
+    please thanks thank hi hello issue problem bug report reported following
+    steps step reproduce reproduced version versions using use used user
+    run running ran
+    """.split()
+)

@@ -1,0 +1,88 @@
+"""TF-IDF vectorization (SS II-C step 1).
+
+The paper extracts features with Term Frequency - Inverse Document Frequency
+and feeds them to NMF for keyword extraction.  This implementation follows
+the common smoothed formulation::
+
+    tf(t, d)  = count of t in d
+    idf(t)    = ln((1 + N) / (1 + df(t))) + 1
+    tfidf     = tf * idf, rows optionally L2-normalized
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.textmining.vocabulary import Vocabulary
+
+
+class TfidfVectorizer:
+    """Fit a vocabulary + IDF weights, transform token lists to dense rows.
+
+    Dense output is deliberate: the bug corpora here are a few thousand
+    documents with vocabularies of a few thousand stems, well within memory,
+    and dense rows keep the downstream from-scratch ML code simple.
+    """
+
+    def __init__(
+        self,
+        *,
+        min_count: int = 1,
+        max_size: int | None = None,
+        sublinear_tf: bool = False,
+        normalize: bool = True,
+    ) -> None:
+        self.min_count = min_count
+        self.max_size = max_size
+        self.sublinear_tf = sublinear_tf
+        self.normalize = normalize
+        self.vocabulary_: Vocabulary | None = None
+        self.idf_: np.ndarray | None = None
+
+    def fit(self, documents: Sequence[Sequence[str]]) -> "TfidfVectorizer":
+        """Learn vocabulary and IDF weights from tokenized ``documents``."""
+        vocab = Vocabulary(
+            documents, min_count=self.min_count, max_size=self.max_size
+        )
+        n_docs = max(vocab.n_documents, 1)
+        df = np.array(
+            [vocab.document_frequency(tok) for tok in vocab.tokens], dtype=np.float64
+        )
+        self.idf_ = np.log((1.0 + n_docs) / (1.0 + df)) + 1.0
+        self.vocabulary_ = vocab
+        return self
+
+    def transform(self, documents: Sequence[Sequence[str]]) -> np.ndarray:
+        """Return the ``(n_docs, n_terms)`` TF-IDF matrix."""
+        if self.vocabulary_ is None or self.idf_ is None:
+            raise NotFittedError("TfidfVectorizer.transform called before fit")
+        vocab = self.vocabulary_
+        matrix = np.zeros((len(documents), len(vocab)), dtype=np.float64)
+        for row, doc in enumerate(documents):
+            for token in doc:
+                idx = vocab.get(token)
+                if idx >= 0:
+                    matrix[row, idx] += 1.0
+        if self.sublinear_tf:
+            nonzero = matrix > 0
+            matrix[nonzero] = 1.0 + np.log(matrix[nonzero])
+        matrix *= self.idf_
+        if self.normalize:
+            norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+            norms[norms == 0.0] = 1.0
+            matrix /= norms
+        return matrix
+
+    def fit_transform(self, documents: Sequence[Sequence[str]]) -> np.ndarray:
+        """Equivalent to ``fit(documents).transform(documents)``."""
+        return self.fit(documents).transform(documents)
+
+    @property
+    def feature_names(self) -> list[str]:
+        """Vocabulary tokens in column order."""
+        if self.vocabulary_ is None:
+            raise NotFittedError("TfidfVectorizer has not been fitted")
+        return self.vocabulary_.tokens

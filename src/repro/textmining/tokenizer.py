@@ -1,0 +1,111 @@
+"""Tokenization for issue-tracker text.
+
+Bug descriptions mix prose with identifiers (``NullPointerException``),
+file paths, stack traces, and version strings.  The tokenizer keeps
+alphanumeric identifier tokens, splits camelCase, lowercases, and can apply
+stop-word removal and Porter stemming.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, Sequence
+
+from repro.textmining.stemmer import PorterStemmer
+from repro.textmining.stopwords import ENGLISH_STOPWORDS
+
+_WORD_RE = re.compile(r"[A-Za-z][A-Za-z0-9_]*")
+_CAMEL_RE = re.compile(r"[A-Z]+(?=[A-Z][a-z])|[A-Z]?[a-z0-9]+|[A-Z]+")
+
+
+def split_identifier(token: str) -> list[str]:
+    """Split a camelCase / snake_case identifier into lowercase parts.
+
+    >>> split_identifier("NullPointerException")
+    ['null', 'pointer', 'exception']
+    >>> split_identifier("flow_mod")
+    ['flow', 'mod']
+    """
+    parts: list[str] = []
+    for chunk in token.split("_"):
+        parts.extend(m.group(0).lower() for m in _CAMEL_RE.finditer(chunk))
+    return parts
+
+
+class Tokenizer:
+    """Configurable text -> token-list transformer.
+
+    Parameters
+    ----------
+    lowercase:
+        Lowercase tokens (after identifier splitting).
+    split_identifiers:
+        Break camelCase / snake_case identifiers into their parts.
+    remove_stopwords:
+        Drop tokens in :data:`ENGLISH_STOPWORDS`.
+    stem:
+        Apply the Porter stemmer.
+    min_length:
+        Drop tokens shorter than this many characters.
+    """
+
+    def __init__(
+        self,
+        *,
+        lowercase: bool = True,
+        split_identifiers: bool = True,
+        remove_stopwords: bool = True,
+        stem: bool = True,
+        min_length: int = 2,
+    ) -> None:
+        self.lowercase = lowercase
+        self.split_identifiers = split_identifiers
+        self.remove_stopwords = remove_stopwords
+        self.stem = stem
+        self.min_length = min_length
+        self._stemmer = PorterStemmer() if stem else None
+
+    def tokenize(self, text: str) -> list[str]:
+        """Tokenize ``text`` according to the configured options."""
+        tokens: list[str] = []
+        for match in _WORD_RE.finditer(text):
+            raw = match.group(0)
+            parts = split_identifier(raw) if self.split_identifiers else [raw]
+            for part in parts:
+                token = part.lower() if self.lowercase else part
+                if len(token) < self.min_length:
+                    continue
+                if self.remove_stopwords and token in ENGLISH_STOPWORDS:
+                    continue
+                if self._stemmer is not None:
+                    token = self._stemmer.stem(token)
+                    if len(token) < self.min_length:
+                        continue
+                tokens.append(token)
+        return tokens
+
+    def tokenize_all(self, texts: Iterable[str]) -> list[list[str]]:
+        """Tokenize a corpus of documents."""
+        return [self.tokenize(text) for text in texts]
+
+
+def ngrams(tokens: Sequence[str], n: int) -> list[tuple[str, ...]]:
+    """All contiguous n-grams of ``tokens``; empty list when len < n."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def sliding_windows(
+    tokens: Sequence[str], window: int
+) -> Iterator[tuple[str, list[str]]]:
+    """Yield ``(center, context)`` pairs for skip-gram training.
+
+    ``context`` holds up to ``window`` tokens on each side of ``center``.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    for i, center in enumerate(tokens):
+        lo = max(0, i - window)
+        context = list(tokens[lo:i]) + list(tokens[i + 1 : i + 1 + window])
+        yield center, context

@@ -1,0 +1,31 @@
+"""Issue-tracker substrates (SS II-B).
+
+ONOS and CORD use JIRA (with Gerrit for fixes); FAUCET uses GitHub.  These
+in-memory substrates model exactly the fields the paper mines: severity,
+status, timestamps, descriptions, and fix links.  GitHub issues carry *no*
+structured severity or resolution timestamps — the paper works around both
+(keyword severity extraction; no FAUCET resolution-time analysis), and so
+does this library.
+"""
+
+from repro.trackers.models import (
+    BugReport,
+    Comment,
+    GerritChange,
+    IssueStatus,
+    Severity,
+)
+from repro.trackers.jira import JiraTracker
+from repro.trackers.github import GithubTracker
+from repro.trackers.severity import KeywordSeverityExtractor
+
+__all__ = [
+    "BugReport",
+    "Comment",
+    "GerritChange",
+    "IssueStatus",
+    "Severity",
+    "JiraTracker",
+    "GithubTracker",
+    "KeywordSeverityExtractor",
+]

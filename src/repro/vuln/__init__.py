@@ -1,0 +1,22 @@
+"""Dependency vulnerability scanning (SS V-A, Table III-b).
+
+A from-scratch OWASP-dependency-check analogue: semantic-version parsing and
+ranges, an NVD-like CVE database (shipped with a synthetic-but-plausible
+entry set including CVE-2018-1000615), and a scanner that matches a release's
+dependency manifest against vulnerable ranges.
+"""
+
+from repro.vuln.versions import Version, VersionRange
+from repro.vuln.database import CveEntry, VulnerabilityDatabase, default_database
+from repro.vuln.scanner import DependencyScanner, ScanFinding, onos_release_manifests
+
+__all__ = [
+    "Version",
+    "VersionRange",
+    "CveEntry",
+    "VulnerabilityDatabase",
+    "default_database",
+    "DependencyScanner",
+    "ScanFinding",
+    "onos_release_manifests",
+]

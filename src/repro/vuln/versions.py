@@ -1,0 +1,118 @@
+"""Semantic-version parsing, ordering, and ranges."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import total_ordering
+
+from repro.errors import VersionError
+
+_VERSION_RE = re.compile(
+    r"^v?(?P<major>\d+)(?:\.(?P<minor>\d+))?(?:\.(?P<patch>\d+))?"
+    r"(?:[-.](?P<pre>[0-9A-Za-z][0-9A-Za-z.-]*))?$"
+)
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Version:
+    """A (major, minor, patch, prerelease) version.
+
+    Missing minor/patch parse as 0.  A pre-release sorts *before* the same
+    numeric version, per semver.
+    """
+
+    major: int
+    minor: int = 0
+    patch: int = 0
+    prerelease: str | None = None
+
+    @classmethod
+    def parse(cls, text: str) -> "Version":
+        match = _VERSION_RE.match(text.strip())
+        if match is None:
+            raise VersionError(f"unparseable version {text!r}")
+        return cls(
+            major=int(match.group("major")),
+            minor=int(match.group("minor") or 0),
+            patch=int(match.group("patch") or 0),
+            prerelease=match.group("pre"),
+        )
+
+    def _key(self) -> tuple:
+        # Release (no prerelease) sorts after any prerelease of same triple.
+        return (
+            self.major,
+            self.minor,
+            self.patch,
+            self.prerelease is None,
+            self.prerelease or "",
+        )
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, Version):
+            return NotImplemented
+        return self._key() < other._key()
+
+    def __str__(self) -> str:
+        base = f"{self.major}.{self.minor}.{self.patch}"
+        return f"{base}-{self.prerelease}" if self.prerelease else base
+
+
+@dataclass(frozen=True)
+class VersionRange:
+    """A half-open-by-default version interval.
+
+    ``low``/``high`` bound the range; ``None`` means unbounded on that side.
+    ``include_low`` defaults True, ``include_high`` defaults False — the
+    common "affected >= 1.2.0, fixed in 1.4.1" CVE shape is
+    ``VersionRange(low=1.2.0, high=1.4.1)``.
+    """
+
+    low: Version | None = None
+    high: Version | None = None
+    include_low: bool = True
+    include_high: bool = False
+
+    def __post_init__(self) -> None:
+        if self.low is not None and self.high is not None and self.high < self.low:
+            raise VersionError(f"empty range: {self.low} .. {self.high}")
+
+    @classmethod
+    def parse(cls, text: str) -> "VersionRange":
+        """Parse ``"[1.2.0, 1.4.1)"``-style interval notation, or a bare
+        version for an exact match."""
+        text = text.strip()
+        if not text:
+            raise VersionError("empty range expression")
+        if text[0] in "[(" and text[-1] in ")]":
+            include_low = text[0] == "["
+            include_high = text[-1] == "]"
+            body = text[1:-1]
+            parts = [p.strip() for p in body.split(",")]
+            if len(parts) != 2:
+                raise VersionError(f"range {text!r} must have two endpoints")
+            low = Version.parse(parts[0]) if parts[0] else None
+            high = Version.parse(parts[1]) if parts[1] else None
+            return cls(low=low, high=high, include_low=include_low, include_high=include_high)
+        exact = Version.parse(text)
+        return cls(low=exact, high=exact, include_low=True, include_high=True)
+
+    def contains(self, version: Version) -> bool:
+        if self.low is not None:
+            if version < self.low:
+                return False
+            if version == self.low and not self.include_low:
+                return False
+        if self.high is not None:
+            if self.high < version:
+                return False
+            if version == self.high and not self.include_high:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        lo = "[" if self.include_low else "("
+        hi = "]" if self.include_high else ")"
+        return f"{lo}{self.low or ''}, {self.high or ''}{hi}"

@@ -1,0 +1,163 @@
+"""Chaos-Monkey fuzzing (SS V-A takeaway)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import ChaosMonkey, Perturbation, default_perturbations
+from repro.errors import ReproError
+from repro.faultinjection.scenario import build_scenario
+from repro.taxonomy import Symptom, Trigger
+
+
+def buggy_factory():
+    return build_scenario(
+        mirror_broadcast=False,
+        multicast_guard=False,
+        gauge_cast_types=False,
+        adapter_timeout=None,
+    )
+
+
+def hardened_factory():
+    return build_scenario(input_validation=True)
+
+
+class TestPerturbations:
+    def test_arsenal_covers_key_triggers(self):
+        triggers = {p.trigger for p in default_perturbations()}
+        assert {
+            Trigger.NETWORK_EVENTS,
+            Trigger.CONFIGURATION,
+            Trigger.EXTERNAL_CALLS,
+            Trigger.HARDWARE_REBOOTS,
+        } == triggers
+
+    def test_names_unique(self):
+        names = [p.name for p in default_perturbations()]
+        assert len(names) == len(set(names))
+
+
+class TestChaosMonkey:
+    def test_deterministic_for_seed(self):
+        a = ChaosMonkey(buggy_factory, seed=3).run_campaign(runs=6)
+        b = ChaosMonkey(buggy_factory, seed=3).run_campaign(runs=6)
+        assert [f.run_index for f in a.findings] == [f.run_index for f in b.findings]
+        assert [f.perturbations for f in a.findings] == [
+            f.perturbations for f in b.findings
+        ]
+
+    def test_buggy_build_yields_findings(self):
+        report = ChaosMonkey(buggy_factory, seed=1).run_campaign(runs=10)
+        assert report.finding_rate > 0.5
+        assert report.symptoms_found()
+
+    def test_buggy_build_finds_more_than_patched(self):
+        buggy = ChaosMonkey(buggy_factory, seed=1).run_campaign(runs=15)
+        patched = ChaosMonkey(build_scenario, seed=1).run_campaign(runs=15)
+        assert buggy.finding_rate >= patched.finding_rate
+
+    def test_input_validation_cuts_crashes(self):
+        """SS V-A: error-guarding logic at the input boundary prevents the
+        malformed-frame crash class chaos exposes."""
+
+        def crashes(report):
+            return sum(
+                1 for f in report.findings
+                if f.outcome.symptom is Symptom.FAIL_STOP
+            )
+
+        plain = ChaosMonkey(build_scenario, seed=1).run_campaign(runs=15)
+        hardened = ChaosMonkey(hardened_factory, seed=1).run_campaign(runs=15)
+        assert crashes(hardened) < crashes(plain)
+
+    def test_trigger_coverage_recorded(self):
+        report = ChaosMonkey(build_scenario, seed=2, intensity=4).run_campaign(runs=8)
+        assert sum(report.triggers_exercised.values()) == 8 * 4
+
+    def test_first_finding_lookup(self):
+        report = ChaosMonkey(buggy_factory, seed=1).run_campaign(runs=10)
+        crash = report.first_finding(Symptom.FAIL_STOP)
+        if crash is not None:
+            assert crash.outcome.symptom is Symptom.FAIL_STOP
+
+    def test_invalid_params(self):
+        with pytest.raises(ReproError):
+            ChaosMonkey(build_scenario, intensity=0)
+        with pytest.raises(ReproError):
+            ChaosMonkey(build_scenario, perturbations=[])
+        with pytest.raises(ReproError):
+            ChaosMonkey(build_scenario).run_campaign(runs=0)
+
+    def test_custom_perturbation(self):
+        applied = []
+
+        def noop(scenario, rng):
+            applied.append(True)
+
+        monkey = ChaosMonkey(
+            build_scenario,
+            perturbations=[Perturbation("noop", Trigger.NETWORK_EVENTS, noop)],
+            intensity=2,
+            seed=0,
+        )
+        report = monkey.run_campaign(runs=2)
+        assert len(applied) == 4
+        assert report.finding_rate == 0.0  # noop perturbations break nothing
+
+
+class TestCluster:
+    def test_onos_5992_case(self):
+        from repro.faultinjection import run_case
+
+        outcome = run_case("ONOS-5992")
+        assert outcome.buggy.symptom is Symptom.BYZANTINE
+        assert outcome.fix_removes_symptom
+
+    def test_failover_reassigns_devices(self):
+        from repro.sdnsim import ControllerCluster, EventScheduler
+
+        scheduler = EventScheduler()
+        cluster = ControllerCluster(["a", "b", "c"], scheduler)
+        for dpid in range(4):
+            cluster.assign_mastership(dpid)
+        victim = cluster.master_of(0)
+        cluster.kill_instance(victim)
+        scheduler.run(until=10)
+        assert cluster.orphaned_devices() == []
+        assert not cluster.is_wedged()
+        assert cluster.master_of(0) != victim
+
+    def test_buggy_quorum_wedges_on_single_death(self):
+        from repro.sdnsim import ControllerCluster, EventScheduler
+        from repro.errors import SimulationError
+
+        scheduler = EventScheduler()
+        cluster = ControllerCluster(
+            ["a", "b", "c"], scheduler, quorum_counts_live_members=False
+        )
+        cluster.assign_mastership(1)
+        cluster.kill_instance("c")
+        scheduler.run(until=10)
+        assert cluster.is_wedged()
+        with pytest.raises(SimulationError, match="no quorum"):
+            cluster.assign_mastership(2)
+
+    def test_majority_loss_wedges_even_fixed_cluster(self):
+        from repro.sdnsim import ControllerCluster, EventScheduler
+
+        scheduler = EventScheduler()
+        cluster = ControllerCluster(["a", "b", "c"], scheduler)
+        cluster.kill_instance("a")
+        cluster.kill_instance("b")
+        scheduler.run(until=10)
+        # A single survivor of a 3-node cluster still has a live majority of
+        # itself under live-member counting; leadership survives.
+        assert cluster.leader == "c"
+
+    def test_duplicate_nodes_rejected(self):
+        from repro.errors import SimulationError
+        from repro.sdnsim import ControllerCluster, EventScheduler
+
+        with pytest.raises(SimulationError):
+            ControllerCluster(["a", "a"], EventScheduler())

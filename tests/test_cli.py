@@ -1,0 +1,55 @@
+"""The ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.seed == 2020 and args.output == "corpus.jsonl"
+
+    def test_validate_rejects_unknown_dimension(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["validate", "--dimensions", "vibes"])
+
+
+class TestCommands:
+    def test_experiments_lists_registry(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "bench_determinism.py" in out
+        assert "SS II-C2" in out
+
+    def test_generate_and_analyze_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "corpus.jsonl"
+        assert main(["generate", "--seed", "7", "--output", str(path)]) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert main(["analyze", "--input", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "RQ1: determinism" in out
+        assert "RQ3: triggers" in out
+
+    def test_inject_smoke(self, capsys):
+        assert main(["inject", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fault campaign" in out
+        assert "CORD-2470" in out
+        assert "FIX FAILED" not in out
+
+    def test_chaos_smoke(self, capsys):
+        assert main(["chaos", "--build", "buggy", "--runs", "3", "--show", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "build=buggy" in out

@@ -1,0 +1,104 @@
+"""Word2Vec skip-gram training and document vectors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embeddings import DocumentVectorizer, Word2Vec
+from repro.errors import NotFittedError
+
+#: A tiny corpus with two clearly separated topics: animals vs networking.
+CORPUS = [
+    ["cat", "dog", "pet", "fur"],
+    ["dog", "cat", "pet", "paw"],
+    ["pet", "cat", "fur", "paw"],
+    ["dog", "pet", "paw", "fur"],
+    ["switch", "flow", "packet", "port"],
+    ["flow", "switch", "port", "packet"],
+    ["packet", "port", "switch", "flow"],
+    ["port", "flow", "packet", "switch"],
+] * 12
+
+
+@pytest.fixture(scope="module")
+def model() -> Word2Vec:
+    return Word2Vec(vector_size=24, window=3, epochs=4, min_count=1, seed=0).fit(
+        CORPUS
+    )
+
+
+class TestWord2Vec:
+    def test_vector_shape(self, model):
+        assert model.vector("cat").shape == (24,)
+
+    def test_topic_words_cluster(self, model):
+        """Intra-topic similarity must exceed cross-topic similarity."""
+        intra = model.similarity("cat", "dog")
+        cross = model.similarity("cat", "switch")
+        assert intra > cross
+
+    def test_most_similar_prefers_same_topic(self, model):
+        neighbours = [w for w, _ in model.most_similar("flow", topn=3)]
+        assert set(neighbours) <= {"switch", "packet", "port"}
+
+    def test_most_similar_excludes_query(self, model):
+        assert "flow" not in [w for w, _ in model.most_similar("flow")]
+
+    def test_contains(self, model):
+        assert "cat" in model
+        assert "unseen" not in model
+
+    def test_oov_vector_raises(self, model):
+        with pytest.raises(KeyError):
+            model.vector("unseen")
+
+    def test_deterministic_for_seed(self):
+        a = Word2Vec(vector_size=8, epochs=1, min_count=1, seed=5).fit(CORPUS)
+        b = Word2Vec(vector_size=8, epochs=1, min_count=1, seed=5).fit(CORPUS)
+        assert np.allclose(a.vectors_, b.vectors_)
+
+    def test_min_count_prunes(self):
+        docs = CORPUS + [["rareword"]]
+        model = Word2Vec(vector_size=8, epochs=1, min_count=2, seed=0).fit(docs)
+        assert "rareword" not in model
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            Word2Vec().vector("cat")
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            Word2Vec(min_count=1).fit([[]])
+
+
+class TestDocumentVectorizer:
+    def test_requires_fitted_model(self):
+        with pytest.raises(NotFittedError):
+            DocumentVectorizer(Word2Vec())
+
+    def test_doc_vector_shape(self, model):
+        docvec = DocumentVectorizer(model)
+        matrix = docvec.transform([["cat", "dog"], ["switch"]])
+        assert matrix.shape == (2, 24)
+
+    def test_oov_only_doc_is_zero(self, model):
+        docvec = DocumentVectorizer(model)
+        assert np.allclose(docvec.transform_one(["nothing", "known"]), 0.0)
+
+    def test_topic_docs_separate(self, model):
+        docvec = DocumentVectorizer(model)
+        animal = docvec.transform_one(["cat", "dog", "pet"])
+        network = docvec.transform_one(["switch", "flow", "port"])
+        animal2 = docvec.transform_one(["fur", "paw", "pet"])
+
+        def cosine(u, v):
+            return u @ v / (np.linalg.norm(u) * np.linalg.norm(v))
+
+        assert cosine(animal, animal2) > cosine(animal, network)
+
+    def test_unweighted_average_is_mean(self, model):
+        docvec = DocumentVectorizer(model, idf_weighting=False)
+        vec = docvec.transform_one(["cat", "dog"])
+        expected = (model.vector("cat") + model.vector("dog")) / 2
+        assert np.allclose(vec, expected)

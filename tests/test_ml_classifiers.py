@@ -1,0 +1,201 @@
+"""From-scratch classifiers: SVM, decision tree, AdaBoost, naive Bayes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotFittedError
+from repro.ml import (
+    AdaBoostClassifier,
+    DecisionTreeClassifier,
+    GaussianNB,
+    LinearSVM,
+    MultinomialNB,
+    accuracy_score,
+)
+
+
+def blob_data(seed=0, n=60, separation=4.0):
+    """Two well-separated Gaussian blobs with string labels."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(loc=(-separation, 0), scale=1.0, size=(n, 2))
+    b = rng.normal(loc=(separation, 0), scale=1.0, size=(n, 2))
+    X = np.vstack([a, b])
+    y = ["left"] * n + ["right"] * n
+    return X, y
+
+
+def three_class_data(seed=1, n=40):
+    rng = np.random.default_rng(seed)
+    centers = [(-6, 0), (6, 0), (0, 7)]
+    X = np.vstack([rng.normal(loc=c, scale=1.0, size=(n, 2)) for c in centers])
+    y = sum([[f"c{i}"] * n for i in range(3)], [])
+    return X, y
+
+
+class TestLinearSVM:
+    def test_separable_blobs(self):
+        X, y = blob_data()
+        model = LinearSVM(seed=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) >= 0.98
+
+    def test_three_classes(self):
+        X, y = three_class_data()
+        model = LinearSVM(seed=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) >= 0.95
+
+    def test_deterministic_for_fixed_seed(self):
+        X, y = blob_data()
+        a = LinearSVM(seed=3).fit(X, y)
+        b = LinearSVM(seed=3).fit(X, y)
+        assert np.allclose(a.weights_, b.weights_)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearSVM().predict(np.zeros((1, 2)))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            LinearSVM().fit(np.zeros((3, 2)), ["a", "b"])
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError, match="2-D"):
+            LinearSVM().fit(np.zeros(3), ["a", "b", "c"])
+
+    def test_class_balancing_recovers_minority(self):
+        """With 10:1 imbalance, the balanced SVM must still find the minority."""
+        rng = np.random.default_rng(5)
+        majority = rng.normal(loc=(0, 0), scale=1.0, size=(100, 2))
+        minority = rng.normal(loc=(6, 6), scale=0.5, size=(10, 2))
+        X = np.vstack([majority, minority])
+        y = ["maj"] * 100 + ["min"] * 10
+        model = LinearSVM(seed=0, class_weight="balanced").fit(X, y)
+        predictions = model.predict(minority)
+        assert predictions.count("min") >= 8
+
+    def test_decision_function_shape(self):
+        X, y = three_class_data()
+        model = LinearSVM(seed=0).fit(X, y)
+        assert model.decision_function(X).shape == (len(y), 3)
+
+    @given(seed=st.integers(0, 20))
+    @settings(max_examples=8, deadline=None)
+    def test_never_worse_than_chance_on_separable(self, seed):
+        X, y = blob_data(seed=seed, n=30)
+        model = LinearSVM(seed=0, epochs=15).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.5
+
+
+class TestDecisionTree:
+    def test_fits_xor_with_depth(self):
+        """XOR is not linearly separable; the tree must still nail it."""
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]] * 10, dtype=float)
+        y = [("t" if (a != b) else "f") for a, b in X]
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert tree.predict(X) == y
+
+    def test_max_depth_zero_is_majority_vote(self):
+        X, y = blob_data()
+        tree = DecisionTreeClassifier(max_depth=0).fit(X, y)
+        assert tree.depth() == 0
+        assert len(set(tree.predict(X))) == 1
+
+    def test_depth_bounded(self):
+        X, y = three_class_data()
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.depth() <= 2
+
+    def test_pure_leaf_stops_splitting(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        tree = DecisionTreeClassifier().fit(X, ["a", "a", "a"])
+        assert tree.depth() == 0
+
+    def test_min_samples_leaf_respected(self):
+        X, y = blob_data(n=10)
+        tree = DecisionTreeClassifier(min_samples_leaf=5).fit(X, y)
+        # The only legal split is the 10/10 one; deeper splits would create
+        # leaves under 5 samples near the boundary, but accuracy holds.
+        assert accuracy_score(y, tree.predict(X)) >= 0.9
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(np.zeros((1, 1)))
+
+
+class TestAdaBoost:
+    def test_boosts_past_single_stump(self):
+        """Diagonal boundary: one stump fails, an ensemble succeeds."""
+        rng = np.random.default_rng(2)
+        X = rng.uniform(-1, 1, size=(200, 2))
+        y = ["pos" if x0 + x1 > 0 else "neg" for x0, x1 in X]
+        boost = AdaBoostClassifier(n_estimators=40).fit(X, y)
+        stump_only = AdaBoostClassifier(n_estimators=1).fit(X, y)
+        assert accuracy_score(y, boost.predict(X)) > accuracy_score(
+            y, stump_only.predict(X)
+        )
+        assert accuracy_score(y, boost.predict(X)) >= 0.9
+
+    def test_three_class_samme(self):
+        X, y = three_class_data()
+        model = AdaBoostClassifier(n_estimators=30).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) >= 0.9
+
+    def test_perfect_stump_short_circuits(self):
+        # Few enough samples that every candidate threshold is evaluated,
+        # so the gap between the blobs is guaranteed to be found.
+        X, y = blob_data(n=20, separation=10.0)
+        model = AdaBoostClassifier(n_estimators=50).fit(X, y)
+        assert len(model.estimators_) == 1
+
+    def test_constant_features_fall_back(self):
+        X = np.ones((10, 2))
+        y = ["a"] * 7 + ["b"] * 3
+        model = AdaBoostClassifier(n_estimators=5).fit(X, y)
+        assert model.predict(X) == ["a"] * 10
+
+    def test_rejects_bad_estimator_count(self):
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(n_estimators=0)
+
+
+class TestNaiveBayes:
+    def test_gaussian_blobs(self):
+        X, y = blob_data()
+        model = GaussianNB().fit(X, y)
+        assert accuracy_score(y, model.predict(X)) >= 0.98
+
+    def test_multinomial_counts(self):
+        # Class "spam" uses word 0 heavily, "ham" uses word 1.
+        X = np.array([[5, 0, 1], [4, 1, 0], [0, 5, 1], [1, 4, 0]], dtype=float)
+        y = ["spam", "spam", "ham", "ham"]
+        model = MultinomialNB().fit(X, y)
+        assert model.predict(np.array([[3.0, 0.0, 0.0]])) == ["spam"]
+        assert model.predict(np.array([[0.0, 3.0, 0.0]])) == ["ham"]
+
+    def test_multinomial_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MultinomialNB().fit(np.array([[-1.0]]), ["a"])
+
+    def test_multinomial_log_proba_normalized(self):
+        X = np.array([[2, 1], [1, 2]], dtype=float)
+        model = MultinomialNB().fit(X, ["a", "b"])
+        proba = np.exp(model.predict_log_proba(X))
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_gaussian_prior_influences_ties(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(30, 2))
+        y = ["a"] * 27 + ["b"] * 3
+        model = GaussianNB().fit(X, y)
+        # On indistinguishable data the prior should dominate.
+        predictions = model.predict(rng.normal(size=(20, 2)))
+        assert predictions.count("a") > predictions.count("b")

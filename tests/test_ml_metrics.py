@@ -1,0 +1,144 @@
+"""Metrics and model-selection utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    KFold,
+    LinearSVM,
+    accuracy_score,
+    confusion_matrix,
+    cross_val_score,
+    f1_score,
+    precision_recall_f1,
+    train_test_split,
+)
+
+
+class TestMetrics:
+    def test_accuracy_perfect_and_zero(self):
+        assert accuracy_score(["a", "b"], ["a", "b"]) == 1.0
+        assert accuracy_score(["a", "b"], ["b", "a"]) == 0.0
+
+    def test_accuracy_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score(["a"], ["a", "b"])
+
+    def test_accuracy_empty(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_confusion_matrix_layout(self):
+        matrix, labels = confusion_matrix(["a", "a", "b"], ["a", "b", "b"])
+        assert labels == ["a", "b"]
+        assert matrix.tolist() == [[1, 1], [0, 1]]
+
+    def test_confusion_matrix_custom_labels(self):
+        matrix, labels = confusion_matrix(["a"], ["a"], labels=["b", "a"])
+        assert labels == ["b", "a"]
+        assert matrix[1, 1] == 1
+
+    def test_precision_recall_f1_values(self):
+        # 'a': tp=2, fp=1, fn=0 -> p=2/3, r=1; 'b': tp=1, fp=0, fn=1.
+        result = precision_recall_f1(["a", "a", "b", "b"], ["a", "a", "a", "b"])
+        assert result["a"]["precision"] == pytest.approx(2 / 3)
+        assert result["a"]["recall"] == pytest.approx(1.0)
+        assert result["b"]["recall"] == pytest.approx(0.5)
+
+    def test_f1_never_nan_for_unpredicted_class(self):
+        result = precision_recall_f1(["a", "b"], ["a", "a"])
+        assert result["b"]["f1"] == 0.0
+
+    def test_macro_vs_weighted_f1(self):
+        y_true = ["a"] * 9 + ["b"]
+        y_pred = ["a"] * 10
+        macro = f1_score(y_true, y_pred, average="macro")
+        weighted = f1_score(y_true, y_pred, average="weighted")
+        assert weighted > macro  # the majority class dominates the weighted mean
+
+    def test_f1_unknown_average(self):
+        with pytest.raises(ValueError):
+            f1_score(["a"], ["a"], average="median")
+
+    @given(
+        st.lists(st.sampled_from("abc"), min_size=1, max_size=40),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_confusion_diagonal_equals_accuracy(self, y_true, seed):
+        rng = np.random.default_rng(seed)
+        y_pred = [rng.choice(list("abc")) for _ in y_true]
+        matrix, _ = confusion_matrix(y_true, y_pred)
+        assert matrix.trace() / len(y_true) == pytest.approx(
+            accuracy_score(y_true, y_pred)
+        )
+
+
+class TestTrainTestSplit:
+    def test_default_two_thirds(self):
+        X = np.arange(90).reshape(-1, 1)
+        y = ["a", "b", "c"] * 30
+        X_train, X_test, y_train, y_test = train_test_split(X, y, seed=0)
+        assert len(y_train) == 60 and len(y_test) == 30
+
+    def test_stratification_preserves_shares(self):
+        X = np.zeros((100, 1))
+        y = ["rare"] * 10 + ["common"] * 90
+        _, _, y_train, y_test = train_test_split(X, y, seed=1)
+        assert y_train.count("rare") == pytest.approx(7, abs=1)
+        assert y_test.count("rare") >= 2
+
+    def test_every_class_appears_in_test(self):
+        X = np.zeros((9, 1))
+        y = ["a", "a", "a", "b", "b", "b", "c", "c", "c"]
+        _, _, _, y_test = train_test_split(X, y, seed=2)
+        assert set(y_test) == {"a", "b", "c"}
+
+    def test_no_overlap_and_full_coverage(self):
+        X = np.arange(30).reshape(-1, 1)
+        y = ["a", "b"] * 15
+        X_train, X_test, _, _ = train_test_split(X, y, seed=3)
+        train_ids = set(X_train[:, 0].tolist())
+        test_ids = set(X_test[:, 0].tolist())
+        assert not train_ids & test_ids
+        assert train_ids | test_ids == set(range(30))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), ["a"] * 4, train_fraction=1.5)
+
+
+class TestKFold:
+    def test_folds_partition_indices(self):
+        folds = list(KFold(3, seed=0).split(10))
+        all_test = sorted(i for _, test in folds for i in test.tolist())
+        assert all_test == list(range(10))
+
+    def test_train_test_disjoint(self):
+        for train, test in KFold(4, seed=1).split(20):
+            assert not set(train.tolist()) & set(test.tolist())
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(5).split(3))
+
+    def test_invalid_splits(self):
+        with pytest.raises(ValueError):
+            KFold(1)
+
+
+def test_cross_val_score_on_separable_data():
+    rng = np.random.default_rng(0)
+    X = np.vstack(
+        [rng.normal(loc=(-5, 0), size=(30, 2)), rng.normal(loc=(5, 0), size=(30, 2))]
+    )
+    y = ["l"] * 30 + ["r"] * 30
+    scores = cross_val_score(
+        lambda: LinearSVM(seed=0, epochs=10), X, y, n_splits=3, seed=0
+    )
+    assert len(scores) == 3
+    assert min(scores) >= 0.9

@@ -1,0 +1,186 @@
+"""PCA, NMF, k-means, preprocessing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import NotFittedError
+from repro.ml import KMeans, L2Normalizer, LabelEncoder, NMF, PCA, StandardScaler
+
+
+class TestPCA:
+    def test_components_are_orthonormal(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 6))
+        pca = PCA(n_components=4).fit(X)
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(4), atol=1e-8)
+
+    def test_variance_ratio_sorted_and_bounded(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(40, 5)) * np.array([5, 3, 1, 0.5, 0.1])
+        pca = PCA(n_components=5).fit(X)
+        ratios = pca.explained_variance_ratio_
+        assert np.all(np.diff(ratios) <= 1e-12)
+        assert 0.99 <= ratios.sum() <= 1.0 + 1e-9
+
+    def test_first_component_captures_dominant_axis(self):
+        rng = np.random.default_rng(2)
+        X = np.zeros((100, 3))
+        X[:, 0] = rng.normal(scale=10.0, size=100)
+        X[:, 1] = rng.normal(scale=0.1, size=100)
+        pca = PCA(n_components=1).fit(X)
+        assert abs(pca.components_[0, 0]) > 0.99
+
+    def test_roundtrip_on_low_rank_data(self):
+        rng = np.random.default_rng(3)
+        basis = rng.normal(size=(2, 5))
+        X = rng.normal(size=(30, 2)) @ basis
+        pca = PCA(n_components=2).fit(X)
+        reconstructed = pca.inverse_transform(pca.transform(X))
+        assert np.allclose(reconstructed, X, atol=1e-8)
+
+    def test_deterministic_sign_convention(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(20, 4))
+        a = PCA(n_components=2).fit(X).components_
+        b = PCA(n_components=2).fit(X.copy()).components_
+        assert np.allclose(a, b)
+
+    def test_caps_components_at_rank(self):
+        X = np.random.default_rng(5).normal(size=(3, 10))
+        pca = PCA(n_components=8).fit(X)
+        assert pca.components_.shape[0] == 3
+
+    def test_transform_before_fit(self):
+        with pytest.raises(NotFittedError):
+            PCA(2).transform(np.zeros((2, 2)))
+
+
+class TestNMF:
+    def test_factors_nonnegative(self):
+        rng = np.random.default_rng(0)
+        V = rng.uniform(0, 1, size=(20, 12))
+        nmf = NMF(n_components=4, seed=0)
+        W = nmf.fit_transform(V)
+        assert (W >= 0).all()
+        assert (nmf.components_ >= 0).all()
+
+    def test_reconstruction_improves_over_random(self):
+        rng = np.random.default_rng(1)
+        W_true = rng.uniform(0, 1, size=(30, 3))
+        H_true = rng.uniform(0, 1, size=(3, 10))
+        V = W_true @ H_true
+        nmf = NMF(n_components=3, seed=0, max_iter=400)
+        nmf.fit(V)
+        baseline = np.linalg.norm(V - V.mean())
+        assert nmf.reconstruction_err_ < 0.25 * baseline
+
+    def test_rejects_negative_input(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            NMF(2).fit(np.array([[1.0, -1.0]]))
+
+    def test_top_terms_identifies_topic_words(self):
+        # Two obvious topics: docs 0-4 use terms 0-2, docs 5-9 use terms 3-5.
+        V = np.zeros((10, 6))
+        V[:5, :3] = 1.0
+        V[5:, 3:] = 1.0
+        nmf = NMF(n_components=2, seed=1).fit(V)
+        names = [f"t{i}" for i in range(6)]
+        topics = nmf.top_terms(names, n_terms=3)
+        groups = {frozenset(t) for t in topics}
+        assert frozenset({"t0", "t1", "t2"}) in groups
+        assert frozenset({"t3", "t4", "t5"}) in groups
+
+    def test_transform_with_fixed_components(self):
+        rng = np.random.default_rng(2)
+        V = rng.uniform(0, 1, size=(12, 8))
+        nmf = NMF(n_components=3, seed=0).fit(V)
+        W = nmf.transform(V[:4])
+        assert W.shape == (4, 3)
+        assert (W >= 0).all()
+
+    def test_deterministic_for_seed(self):
+        V = np.random.default_rng(3).uniform(0, 1, size=(10, 6))
+        a = NMF(n_components=2, seed=7).fit_transform(V)
+        b = NMF(n_components=2, seed=7).fit_transform(V)
+        assert np.allclose(a, b)
+
+
+class TestKMeans:
+    def test_recovers_separated_clusters(self):
+        rng = np.random.default_rng(0)
+        centers = np.array([[0, 0], [10, 10], [-10, 10]])
+        X = np.vstack([rng.normal(loc=c, scale=0.5, size=(30, 2)) for c in centers])
+        km = KMeans(3, seed=0).fit(X)
+        labels = km.predict(X)
+        # Each true cluster maps to exactly one predicted cluster.
+        for i in range(3):
+            block = labels[i * 30 : (i + 1) * 30]
+            assert len(set(block.tolist())) == 1
+
+    def test_inertia_decreases_with_more_clusters(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(60, 2))
+        inertia_2 = KMeans(2, seed=0).fit(X).inertia_
+        inertia_6 = KMeans(6, seed=0).fit(X).inertia_
+        assert inertia_6 < inertia_2
+
+    def test_rejects_more_clusters_than_points(self):
+        with pytest.raises(ValueError):
+            KMeans(5).fit(np.zeros((3, 2)))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KMeans(2).predict(np.zeros((2, 2)))
+
+    def test_fit_predict_matches_labels(self):
+        X = np.random.default_rng(2).normal(size=(20, 2))
+        km = KMeans(2, seed=0)
+        labels = km.fit_predict(X)
+        assert np.array_equal(labels, km.labels_)
+
+
+class TestPreprocessing:
+    def test_standard_scaler_zero_mean_unit_var(self):
+        X = np.random.default_rng(0).normal(loc=5, scale=3, size=(100, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1, atol=1e-9)
+
+    def test_standard_scaler_constant_feature_safe(self):
+        X = np.ones((10, 2))
+        Z = StandardScaler().fit_transform(X)
+        assert np.isfinite(Z).all()
+
+    def test_l2_normalizer_rows(self):
+        X = np.array([[3.0, 4.0], [0.0, 0.0]])
+        Z = L2Normalizer().fit_transform(X)
+        assert np.allclose(np.linalg.norm(Z[0]), 1.0)
+        assert np.allclose(Z[1], 0.0)
+
+    def test_label_encoder_roundtrip(self):
+        encoder = LabelEncoder().fit(["b", "a", "b", "c"])
+        indices = encoder.transform(["a", "b", "c"])
+        assert encoder.inverse_transform(indices) == ["a", "b", "c"]
+
+    def test_label_encoder_unseen_label(self):
+        encoder = LabelEncoder().fit(["a"])
+        with pytest.raises(ValueError, match="unseen"):
+            encoder.transform(["z"])
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(2, 10), st.integers(1, 5)),
+            elements=st.floats(-100, 100),
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_scaler_transform_is_finite(self, X):
+        Z = StandardScaler().fit_transform(X)
+        assert np.isfinite(Z).all()

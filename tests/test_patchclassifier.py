@@ -1,0 +1,99 @@
+"""Patch-metadata fix classification (SS II-C1)."""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import pytest
+
+from repro.pipeline.patchclassifier import (
+    PatchFixClassifier,
+    evaluate_patch_classifier,
+)
+from repro.taxonomy import FixCategory, FixStrategy
+from repro.trackers.models import GerritChange
+
+
+def change(subject="Fix it", files=("src/x.java",), insertions=10, deletions=5):
+    return GerritChange(
+        change_id="I1",
+        subject=subject,
+        merged_at=datetime(2019, 1, 1),
+        files_changed=tuple(files),
+        insertions=insertions,
+        deletions=deletions,
+    )
+
+
+class TestRules:
+    def test_dependency_only_is_upgrade(self):
+        prediction = PatchFixClassifier().classify(
+            change(subject="Bump dependency for X", files=("requirements.txt",))
+        )
+        assert prediction.strategy is FixStrategy.UPGRADE_PACKAGES
+
+    def test_dependency_revert_is_rollback(self):
+        prediction = PatchFixClassifier().classify(
+            change(subject="Revert dependency bump", files=("pom.xml",))
+        )
+        assert prediction.strategy is FixStrategy.ROLLBACK_UPGRADES
+        assert prediction.category is FixCategory.NO_LOGIC_CHANGES
+
+    def test_config_only_is_fix_configuration(self):
+        prediction = PatchFixClassifier().classify(
+            change(subject="whatever", files=("conf/cluster.yaml",))
+        )
+        assert prediction.strategy is FixStrategy.FIX_CONFIGURATION
+
+    def test_lock_subject_is_synchronization(self):
+        prediction = PatchFixClassifier().classify(
+            change(subject="Add locking around the shared map")
+        )
+        assert prediction.strategy is FixStrategy.ADD_SYNCHRONIZATION
+
+    def test_additive_diff_is_add_logic(self):
+        prediction = PatchFixClassifier().classify(
+            change(subject="misc", insertions=300, deletions=10)
+        )
+        assert prediction.strategy is FixStrategy.ADD_LOGIC
+
+    def test_source_plus_manifest_is_compatibility(self):
+        prediction = PatchFixClassifier().classify(
+            change(
+                subject="misc",
+                files=("src/adapter.java", "requirements.txt"),
+                insertions=40,
+                deletions=35,
+            )
+        )
+        assert prediction.strategy is FixStrategy.ADD_COMPATIBILITY
+
+    def test_small_balanced_diff_is_workaround(self):
+        prediction = PatchFixClassifier().classify(
+            change(subject="misc", insertions=8, deletions=6)
+        )
+        assert prediction.strategy is FixStrategy.WORKAROUND
+
+    def test_every_prediction_has_a_rule(self):
+        prediction = PatchFixClassifier().classify(change())
+        assert prediction.rule
+
+
+class TestEvaluation:
+    def test_beats_description_based_prediction(self, corpus):
+        """Patches carry the fix signal descriptions lack (SS II-C1/C2)."""
+        evaluation = evaluate_patch_classifier(corpus.dataset)
+        assert evaluation.strategy_accuracy > 0.75
+        assert evaluation.category_accuracy >= evaluation.strategy_accuracy - 0.05
+
+    def test_only_gerrit_backed_bugs_counted(self, corpus):
+        evaluation = evaluate_patch_classifier(corpus.dataset)
+        with_gerrit = sum(
+            1 for b in corpus.dataset if b.report.gerrit_changes
+        )
+        assert evaluation.n_bugs == with_gerrit
+
+    def test_empty_dataset_rejected(self, corpus):
+        faucet_only = corpus.dataset.by_controller("FAUCET")  # no gerrit
+        with pytest.raises(ValueError):
+            evaluate_patch_classifier(faucet_only)

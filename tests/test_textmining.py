@@ -1,0 +1,233 @@
+"""Tokenizer, Porter stemmer, vocabulary, and TF-IDF."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NotFittedError
+from repro.textmining import (
+    ENGLISH_STOPWORDS,
+    PorterStemmer,
+    TfidfVectorizer,
+    Tokenizer,
+    Vocabulary,
+    ngrams,
+    sliding_windows,
+)
+from repro.textmining.tokenizer import split_identifier
+
+
+class TestStemmer:
+    @pytest.mark.parametrize(
+        "word,stem",
+        [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubling", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("falling", "fall"),
+            ("happy", "happi"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("triplicate", "triplic"),
+            ("hopefulness", "hope"),
+            ("goodness", "good"),
+            ("formative", "form"),
+            ("probate", "probat"),
+            ("cease", "ceas"),
+            ("controller", "control"),
+            ("crashes", "crash"),
+            ("crashed", "crash"),
+            ("crashing", "crash"),
+        ],
+    )
+    def test_known_stems(self, word, stem):
+        assert PorterStemmer().stem(word) == stem
+
+    def test_short_words_untouched(self):
+        stemmer = PorterStemmer()
+        assert stemmer.stem("at") == "at"
+        assert stemmer.stem("of") == "of"
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=20))
+    def test_stem_is_idempotent_on_its_output_prefix_property(self, word):
+        """A stem never grows, and stemming never raises."""
+        stemmer = PorterStemmer()
+        stem = stemmer.stem(word)
+        assert len(stem) <= len(word)
+        assert stem == stem.lower()
+
+    def test_inflections_share_a_stem(self):
+        stemmer = PorterStemmer()
+        stems = {stemmer.stem(w) for w in ("crash", "crashed", "crashes", "crashing")}
+        assert len(stems) == 1
+
+
+class TestTokenizer:
+    def test_camel_case_split(self):
+        assert split_identifier("NullPointerException") == [
+            "null", "pointer", "exception",
+        ]
+
+    def test_snake_case_split(self):
+        assert split_identifier("flow_mod_handler") == ["flow", "mod", "handler"]
+
+    def test_acronym_handling(self):
+        assert split_identifier("HTTPServer") == ["http", "server"]
+
+    def test_stopwords_removed(self):
+        tokens = Tokenizer(stem=False).tokenize("the controller is in the rack")
+        assert "the" not in tokens and "controller" in tokens
+
+    def test_stemming_applied(self):
+        tokens = Tokenizer().tokenize("controllers crashing repeatedly")
+        assert "control" in tokens and "crash" in tokens
+
+    def test_min_length_filter(self):
+        tokens = Tokenizer(stem=False, remove_stopwords=False, min_length=3).tokenize(
+            "an ip is up"
+        )
+        assert tokens == []
+
+    def test_numbers_in_identifiers_kept(self):
+        tokens = Tokenizer(stem=False, remove_stopwords=False).tokenize("ipv6 route")
+        assert "ipv6" in tokens
+
+    @given(st.text(max_size=200))
+    def test_never_raises_and_all_tokens_nonempty(self, text):
+        tokens = Tokenizer().tokenize(text)
+        assert all(tokens), "empty token produced"
+
+
+class TestNgramsAndWindows:
+    def test_ngrams_basic(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_ngrams_too_short(self):
+        assert ngrams(["a"], 2) == []
+
+    def test_ngrams_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+    def test_sliding_windows_cover_context(self):
+        pairs = dict()
+        for center, context in sliding_windows(["a", "b", "c"], 1):
+            pairs[center] = context
+        assert pairs == {"a": ["b"], "b": ["a", "c"], "c": ["b"]}
+
+    def test_sliding_windows_rejects_zero(self):
+        with pytest.raises(ValueError):
+            list(sliding_windows(["a"], 0))
+
+
+class TestVocabulary:
+    DOCS = [["flow", "table", "flow"], ["flow", "crash"], ["crash"]]
+
+    def test_frequency_ordering(self):
+        vocab = Vocabulary(self.DOCS)
+        assert vocab.index("flow") == 0  # most frequent
+
+    def test_counts_and_docfreq(self):
+        vocab = Vocabulary(self.DOCS)
+        assert vocab.count("flow") == 3
+        assert vocab.document_frequency("flow") == 2
+        assert vocab.document_frequency("crash") == 2
+
+    def test_min_count_filters(self):
+        vocab = Vocabulary(self.DOCS, min_count=2)
+        assert "table" not in vocab
+
+    def test_max_size_truncates_to_most_frequent(self):
+        vocab = Vocabulary(self.DOCS, max_size=1)
+        assert list(vocab) == ["flow"]
+
+    def test_encode_drops_oov(self):
+        vocab = Vocabulary(self.DOCS, min_count=2)
+        assert vocab.encode(["flow", "table", "crash"]) == [
+            vocab.index("flow"), vocab.index("crash"),
+        ]
+
+    def test_token_index_roundtrip(self):
+        vocab = Vocabulary(self.DOCS)
+        for token in vocab:
+            assert vocab.token(vocab.index(token)) == token
+
+    @given(
+        st.lists(
+            st.lists(st.sampled_from("abcde"), min_size=1, max_size=8),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_counts_sum_to_total_tokens(self, docs):
+        vocab = Vocabulary(docs)
+        assert sum(vocab.counts) == sum(len(d) for d in docs)
+
+
+class TestTfidf:
+    DOCS = [["flow", "crash"], ["flow", "table"], ["flow"]]
+
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            TfidfVectorizer().transform(self.DOCS)
+
+    def test_shape(self):
+        matrix = TfidfVectorizer().fit_transform(self.DOCS)
+        assert matrix.shape == (3, 3)
+
+    def test_rows_l2_normalized(self):
+        matrix = TfidfVectorizer().fit_transform(self.DOCS)
+        norms = np.linalg.norm(matrix, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_ubiquitous_term_weighs_less(self):
+        vectorizer = TfidfVectorizer(normalize=False)
+        matrix = vectorizer.fit_transform(self.DOCS)
+        flow_col = vectorizer.vocabulary_.index("flow")
+        crash_col = vectorizer.vocabulary_.index("crash")
+        # In doc 0 both terms appear once; 'crash' is rarer so scores higher.
+        assert matrix[0, crash_col] > matrix[0, flow_col]
+
+    def test_oov_terms_ignored_at_transform(self):
+        vectorizer = TfidfVectorizer().fit(self.DOCS)
+        row = vectorizer.transform([["unseen", "flow"]])
+        assert row.shape == (1, 3)
+        assert row.sum() > 0
+
+    def test_empty_doc_is_zero_row(self):
+        vectorizer = TfidfVectorizer().fit(self.DOCS)
+        row = vectorizer.transform([[]])
+        assert np.allclose(row, 0.0)
+
+    def test_sublinear_tf_dampens(self):
+        plain = TfidfVectorizer(normalize=False).fit_transform([["a", "a", "a", "b"]])
+        sub = TfidfVectorizer(normalize=False, sublinear_tf=True).fit_transform(
+            [["a", "a", "a", "b"]]
+        )
+        assert sub[0].max() < plain[0].max()
+
+    @given(
+        st.lists(
+            st.lists(st.sampled_from(["x", "y", "z", "w"]), min_size=1, max_size=6),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    def test_all_entries_nonnegative(self, docs):
+        matrix = TfidfVectorizer().fit_transform(docs)
+        assert (matrix >= 0).all()

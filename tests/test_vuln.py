@@ -1,0 +1,160 @@
+"""Semantic versions, ranges, CVE database, and the dependency scanner."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import VersionError
+from repro.paperdata import ONOS_RELEASES
+from repro.vuln import (
+    CveEntry,
+    DependencyScanner,
+    Version,
+    VersionRange,
+    VulnerabilityDatabase,
+    default_database,
+    onos_release_manifests,
+)
+
+
+class TestVersion:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1.2.3", Version(1, 2, 3)),
+            ("1.2", Version(1, 2, 0)),
+            ("2", Version(2, 0, 0)),
+            ("v3.1.4", Version(3, 1, 4)),
+            ("1.0.0-rc1", Version(1, 0, 0, "rc1")),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert Version.parse(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "abc", "1..2", "-1.0"])
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(VersionError):
+            Version.parse(bad)
+
+    def test_ordering(self):
+        assert Version.parse("1.2.3") < Version.parse("1.2.10")
+        assert Version.parse("1.9.9") < Version.parse("2.0.0")
+
+    def test_prerelease_sorts_before_release(self):
+        assert Version.parse("1.0.0-rc1") < Version.parse("1.0.0")
+
+    def test_str_roundtrip(self):
+        assert str(Version.parse("1.2.3-beta")) == "1.2.3-beta"
+
+    @given(
+        st.tuples(st.integers(0, 40), st.integers(0, 40), st.integers(0, 40)),
+        st.tuples(st.integers(0, 40), st.integers(0, 40), st.integers(0, 40)),
+    )
+    def test_ordering_matches_tuple_ordering(self, a, b):
+        va, vb = Version(*a), Version(*b)
+        assert (va < vb) == (a < b)
+
+    @given(st.tuples(st.integers(0, 20), st.integers(0, 20), st.integers(0, 20)))
+    def test_parse_str_roundtrip(self, triple):
+        version = Version(*triple)
+        assert Version.parse(str(version)) == version
+
+
+class TestVersionRange:
+    def test_half_open_default(self):
+        r = VersionRange.parse("[1.2.0, 1.4.1)")
+        assert r.contains(Version.parse("1.2.0"))
+        assert r.contains(Version.parse("1.4.0"))
+        assert not r.contains(Version.parse("1.4.1"))
+
+    def test_unbounded_low(self):
+        r = VersionRange.parse("[, 2.9.2)")
+        assert r.contains(Version.parse("0.1.0"))
+        assert not r.contains(Version.parse("2.9.2"))
+
+    def test_exact_match(self):
+        r = VersionRange.parse("1.5.0")
+        assert r.contains(Version.parse("1.5.0"))
+        assert not r.contains(Version.parse("1.5.1"))
+
+    def test_inclusive_high(self):
+        r = VersionRange.parse("[1.0, 2.0]")
+        assert r.contains(Version.parse("2.0.0"))
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(VersionError, match="empty range"):
+            VersionRange(low=Version(2), high=Version(1))
+
+    def test_malformed_rejected(self):
+        with pytest.raises(VersionError):
+            VersionRange.parse("[1.0)")
+        with pytest.raises(VersionError):
+            VersionRange.parse("")
+
+    @given(
+        st.tuples(st.integers(0, 10), st.integers(0, 10)),
+        st.tuples(st.integers(11, 20), st.integers(0, 10)),
+        st.tuples(st.integers(0, 25), st.integers(0, 10)),
+    )
+    def test_containment_consistent_with_ordering(self, lo, hi, probe):
+        r = VersionRange(low=Version(*lo, 0), high=Version(*hi, 0))
+        v = Version(*probe, 0)
+        inside = r.contains(v)
+        below = v < r.low
+        above = r.high < v or v == r.high
+        assert inside == (not below and not above)
+
+
+class TestDatabase:
+    def test_lookup_by_version(self):
+        db = default_database()
+        assert any(
+            c.cve_id == "CVE-2018-1000615" for c in db.lookup("ovsdb", "2.8.1")
+        )
+        assert not db.lookup("ovsdb", "2.9.2")
+
+    def test_unknown_package_empty(self):
+        assert default_database().lookup("leftpad", "1.0") == []
+
+    def test_duplicate_cve_rejected(self):
+        entry = CveEntry("CVE-X", "p", VersionRange.parse("[, 1.0)"), 5.0, "x")
+        with pytest.raises(VersionError, match="duplicate"):
+            VulnerabilityDatabase([entry, entry])
+
+    def test_cvss_bounds(self):
+        with pytest.raises(VersionError):
+            CveEntry("CVE-Y", "p", VersionRange.parse("[, 1.0)"), 11.0, "x")
+
+
+class TestScanner:
+    def test_scan_flags_vulnerable_pins(self):
+        scanner = DependencyScanner()
+        findings = scanner.scan({"netty": "4.0.5", "log4j": "2.13.2"})
+        packages = {f.package for f in findings}
+        assert "netty" in packages
+        assert "log4j" not in packages
+
+    def test_table_three_b_growth(self):
+        scanner = DependencyScanner()
+        results = scanner.scan_releases(onos_release_manifests())
+        counts = [len(results[release]) for release in ONOS_RELEASES]
+        # Vulnerability exposure grows over time (paper's Table III-b);
+        # the last release finally upgrades netty, allowing a small dip.
+        assert counts[-1] > counts[0]
+        assert all(b >= a for a, b in zip(counts, counts[1:-1]))
+
+    def test_ovsdb_cve_survives_partial_upgrade(self):
+        """ONOS 2.0 bumps ovsdb to 2.9.0 — still short of the 2.9.2 fix."""
+        scanner = DependencyScanner()
+        results = scanner.scan_releases(onos_release_manifests())
+        for release in ONOS_RELEASES:
+            assert any(
+                f.cve.cve_id == "CVE-2018-1000615" for f in results[release]
+            ), release
+
+    def test_manifests_are_cumulative(self):
+        manifests = onos_release_manifests()
+        for earlier, later in zip(ONOS_RELEASES, ONOS_RELEASES[1:]):
+            assert set(manifests[earlier]) <= set(manifests[later])
