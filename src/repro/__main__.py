@@ -7,6 +7,7 @@ analyze      Run RQ1-RQ3 analyses over a corpus (generated or from JSONL).
 validate     Run the SS II-C NLP validation protocol.
 inject       Execute the fault-injection campaign and the named case studies.
 chaos        Run a Chaos-Monkey fuzzing campaign.
+resilience   A/B fault campaign: bare scenarios vs the resilience runtime.
 experiments  List every reproducible paper artifact and its bench.
 """
 
@@ -59,13 +60,22 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.corpus import CorpusGenerator
-    from repro.pipeline.validation import validate_pipeline
+    from repro.pipeline.validation import validate_dimensions_resilient
 
     corpus = CorpusGenerator(seed=args.seed).generate()
+    reports, execution = validate_dimensions_resilient(
+        corpus.manual_sample, dimensions=args.dimensions, seed=0
+    )
     for dimension in args.dimensions:
-        report = validate_pipeline(corpus.manual_sample, dimension, seed=0)
-        print(report.summary())
-    return 0
+        if dimension in reports:
+            print(reports[dimension].summary())
+    for failure in execution.failures:
+        print(f"{failure.item:12s} FAILED after {failure.attempts} attempt(s): "
+              f"{failure.error}")
+    if execution.degraded:
+        print(f"degraded run: {len(execution.failures)}/{execution.total} "
+              "dimension(s) failed")
+    return 1 if execution.degraded else 0
 
 
 def _cmd_inject(args: argparse.Namespace) -> int:
@@ -105,13 +115,54 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         "hardened": lambda: build_scenario(input_validation=True),
     }
     factory = factories[args.build]
-    report = ChaosMonkey(factory, seed=args.seed).run_campaign(runs=args.runs)
-    print(f"build={args.build}: {len(report.findings)}/{report.runs} runs "
+    monkey = ChaosMonkey(factory, seed=args.seed, hardened=args.resilient)
+    report = monkey.run_campaign(runs=args.runs)
+    label = f"build={args.build}" + (" +resilience" if args.resilient else "")
+    print(f"{label}: {len(report.findings)}/{report.runs} runs "
           f"surfaced a symptom")
     for finding in report.findings[: args.show]:
         symptom = finding.outcome.symptom.value
         print(f"  run {finding.run_index:3d} {finding.perturbations} -> "
               f"{symptom}: {finding.outcome.detail[:60]}")
+    if report.ledger is not None:
+        print(f"  resilience actions: {report.ledger.summary()}")
+    return 0
+
+
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from repro.faultinjection import FaultCampaign
+
+    report = FaultCampaign(seeds_per_fault=args.seeds).run_ab()
+    rows = [
+        [
+            r.spec.fault_id,
+            r.spec.bug_type.value,
+            f"{r.baseline_symptom_rate:.0%}",
+            f"{r.hardened_symptom_rate:.0%}",
+            str(r.restarts),
+            ", ".join(sorted(s.value for s in r.residual_symptoms)) or "-",
+        ]
+        for r in report.results
+    ]
+    print(ascii_table(
+        ["fault", "determinism", "bare", "hardened", "restarts", "residual"],
+        rows,
+        title="A/B fault campaign: bare vs resilience runtime",
+    ))
+    print()
+    summary = report.summary()
+    print(f"symptom rate: {format_percent(report.baseline_symptom_rate)} bare -> "
+          f"{format_percent(report.hardened_symptom_rate)} hardened "
+          f"(reduction {format_percent(report.symptom_reduction)})")
+    print(f"improved faults: {', '.join(summary['improved_faults']) or 'none'}")
+    print(f"mean recovery latency: {report.mean_recovery_latency:.1f}s simulated")
+    residual = report.residual_by_root_cause()
+    if residual:
+        total = sum(residual.values())
+        print(render_distribution(
+            {cause.value: count / total for cause, count in residual.items()},
+            title="residual symptoms by root cause",
+        ))
     return 0
 
 
@@ -160,7 +211,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=20)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--show", type=int, default=10, help="findings to print")
+    p.add_argument("--resilient", action="store_true",
+                   help="build scenarios with the resilience runtime enabled")
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
+        "resilience", help="A/B fault campaign: bare vs resilience runtime"
+    )
+    p.add_argument("--seeds", type=int, default=3, help="seeds per fault")
+    p.set_defaults(fn=_cmd_resilience)
 
     p = sub.add_parser("experiments", help="list reproducible artifacts")
     p.set_defaults(fn=_cmd_experiments)

@@ -11,8 +11,11 @@ from repro.faultinjection.scenario import (
     HOSTS,
     ScenarioResult,
     build_scenario,
+    resilience_context,
     run_workload,
 )
+from repro.resilience.ledger import ResilienceLedger
+from repro.resilience.policies import ResilienceConfig
 from repro.sdnsim.messages import BROADCAST_MAC, Packet, PortStatus
 from repro.sdnsim.observers import Outcome
 from repro.taxonomy import Symptom, Trigger
@@ -132,6 +135,8 @@ class ChaosReport:
     runs: int
     findings: list[ChaosFinding] = field(default_factory=list)
     triggers_exercised: dict[Trigger, int] = field(default_factory=dict)
+    #: Populated when the monkey ran hardened: every resilience action taken.
+    ledger: ResilienceLedger | None = None
 
     @property
     def finding_rate(self) -> float:
@@ -163,6 +168,11 @@ class ChaosMonkey:
         Perturbations sampled (with replacement) per run.
     seed:
         Campaign seed; runs are deterministic given it.
+    hardened:
+        ``True`` (or a :class:`ResilienceConfig`) builds every scenario
+        inside :func:`resilience_context`, so the factory produces hardened
+        scenarios — guarded TSDB, breaker, shared ledger — letting the same
+        arsenal measure the resilience runtime instead of hunting bugs.
     """
 
     def __init__(
@@ -172,6 +182,7 @@ class ChaosMonkey:
         perturbations: list[Perturbation] | None = None,
         intensity: int = 3,
         seed: int = 0,
+        hardened: bool | ResilienceConfig = False,
     ) -> None:
         if intensity < 1:
             raise ReproError("intensity must be >= 1")
@@ -183,6 +194,13 @@ class ChaosMonkey:
             raise ReproError("at least one perturbation is required")
         self.intensity = intensity
         self.seed = seed
+        if hardened is True:
+            self.resilience: ResilienceConfig | None = ResilienceConfig.default()
+        elif isinstance(hardened, ResilienceConfig):
+            self.resilience = hardened
+        else:
+            self.resilience = None
+        self.ledger = ResilienceLedger() if self.resilience is not None else None
 
     def run_once(self, run_index: int) -> tuple[tuple[str, ...], Outcome]:
         """One chaos run: sample, apply, drive workload, classify."""
@@ -191,7 +209,11 @@ class ChaosMonkey:
             self.perturbations[rng.randrange(len(self.perturbations))]
             for _ in range(self.intensity)
         ]
-        scenario = self.scenario_factory()
+        if self.resilience is not None:
+            with resilience_context(self.resilience, self.ledger):
+                scenario = self.scenario_factory()
+        else:
+            scenario = self.scenario_factory()
 
         def apply_all(result: ScenarioResult) -> None:
             for perturbation in chosen:
@@ -211,7 +233,7 @@ class ChaosMonkey:
         """Run ``runs`` independent chaos runs and collect findings."""
         if runs < 1:
             raise ReproError("runs must be >= 1")
-        report = ChaosReport(runs=runs)
+        report = ChaosReport(runs=runs, ledger=self.ledger)
         name_to_trigger = {p.name: p.trigger for p in self.perturbations}
         for run_index in range(runs):
             names, outcome = self.run_once(run_index)

@@ -37,7 +37,10 @@ def load_dataset_jsonl(path: str | Path) -> BugDataset:
                         label=BugLabel.from_dict(record["label"]),
                     )
                 )
-            except (KeyError, ValueError) as exc:
+            except (KeyError, ValueError, TypeError, AttributeError) as exc:
+                # TypeError/AttributeError cover structurally wrong records
+                # (e.g. ``{"report": null}``) whose failure otherwise
+                # surfaces deep inside from_dict without the line number.
                 raise CorpusError(
                     f"{path}:{line_number}: malformed dataset record: {exc}"
                 ) from exc

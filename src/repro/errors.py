@@ -55,3 +55,27 @@ class InjectionError(ReproError):
 
 class FrameworkError(ReproError):
     """Unknown fault-tolerance framework or invalid capability query."""
+
+
+class ResilienceError(ReproError):
+    """Invalid resilience-policy configuration or misuse."""
+
+
+class RetryBudgetExceededError(ResilienceError):
+    """Every retry in the policy's budget was spent without success."""
+
+
+class DeadlineExceededError(ResilienceError):
+    """An operation overran its time budget on the simulated clock."""
+
+
+class BulkheadFullError(ResilienceError):
+    """A bulkhead rejected a call because its concurrency cap is reached."""
+
+
+class CircuitOpenError(ResilienceError):
+    """A circuit breaker rejected a call while open."""
+
+
+class SupervisionError(ResilienceError):
+    """A supervision tree exhausted its restart-intensity budget."""

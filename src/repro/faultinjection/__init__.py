@@ -9,17 +9,30 @@ representative failure inside :mod:`repro.sdnsim` — several of them the
 VOL-549, CORD-1734).
 """
 
-from repro.faultinjection.scenario import ScenarioResult, build_scenario, run_workload
+from repro.faultinjection.scenario import (
+    ScenarioResult,
+    build_scenario,
+    resilience_context,
+    run_workload,
+)
 from repro.faultinjection.faults import FaultSpec, default_catalog
-from repro.faultinjection.campaign import CampaignResult, FaultCampaign
+from repro.faultinjection.campaign import (
+    AbFaultResult,
+    AbReport,
+    CampaignResult,
+    FaultCampaign,
+)
 from repro.faultinjection.cases import CASE_RUNNERS, run_case
 
 __all__ = [
     "ScenarioResult",
     "build_scenario",
+    "resilience_context",
     "run_workload",
     "FaultSpec",
     "default_catalog",
+    "AbFaultResult",
+    "AbReport",
     "CampaignResult",
     "FaultCampaign",
     "CASE_RUNNERS",

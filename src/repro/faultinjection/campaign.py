@@ -5,8 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.faultinjection.faults import FaultSpec, default_catalog
+from repro.resilience.ledger import ResilienceLedger
+from repro.resilience.policies import ResilienceConfig
+from repro.resilience.supervisor import RestartRun, SupervisedRestart
 from repro.sdnsim.observers import Outcome
-from repro.taxonomy import BugType, Symptom
+from repro.taxonomy import BugType, RootCause, Symptom
 
 
 @dataclass
@@ -106,3 +109,178 @@ class FaultCampaign:
             ]
             campaign.results.append(FaultResult(spec=spec, outcomes=outcomes))
         return campaign
+
+    def run_ab(self, *, resilience: ResilienceConfig | None = None) -> AbReport:
+        """Run every fault twice — bare, then hardened — and pair the results.
+
+        The hardened arm runs inside :func:`resilience_context` (so every
+        scenario gets the guarded TSDB) under a :class:`SupervisedRestart`
+        harness (so detectable fail-stop/stall outcomes get restarted within
+        the intensity budget).  The report quantifies the paper's §VII
+        lesson: restart-style recovery pays off only against
+        non-deterministic bugs; deterministic ones re-manifest and remain as
+        residual symptoms.
+        """
+        from repro.faultinjection.scenario import resilience_context
+
+        config = resilience if resilience is not None else ResilienceConfig.default()
+        ledger = ResilienceLedger()
+        report = AbReport(config=config, ledger=ledger)
+        for spec in self.catalog:
+            baseline = [
+                spec.execute(self.base_seed + i)
+                for i in range(self.seeds_per_fault)
+            ]
+            restarter = SupervisedRestart(
+                backoff=config.restart_backoff,
+                ledger=ledger,
+                component=spec.fault_id,
+            )
+            with resilience_context(config, ledger):
+                hardened = [
+                    restarter.run(
+                        spec.execute, self.base_seed + i, trigger=spec.trigger
+                    )
+                    for i in range(self.seeds_per_fault)
+                ]
+            report.results.append(
+                AbFaultResult(spec=spec, baseline=baseline, hardened=hardened)
+            )
+        return report
+
+
+@dataclass
+class AbFaultResult:
+    """Paired bare/hardened outcomes for one fault over the same seeds."""
+
+    spec: FaultSpec
+    baseline: list[Outcome]
+    hardened: list[RestartRun]
+
+    @staticmethod
+    def _symptom_rate(outcomes: list[Outcome]) -> float:
+        hits = sum(1 for o in outcomes if o.symptom is not None)
+        return hits / len(outcomes) if outcomes else 0.0
+
+    @property
+    def baseline_symptom_rate(self) -> float:
+        return self._symptom_rate(self.baseline)
+
+    @property
+    def hardened_symptom_rate(self) -> float:
+        return self._symptom_rate([run.outcome for run in self.hardened])
+
+    @property
+    def improved(self) -> bool:
+        return self.hardened_symptom_rate < self.baseline_symptom_rate
+
+    @property
+    def restarts(self) -> int:
+        return sum(run.restarts for run in self.hardened)
+
+    @property
+    def recovery_latency(self) -> float:
+        """Total backoff seconds spent by runs that actually recovered."""
+        return sum(run.recovery_latency for run in self.hardened if run.recovered)
+
+    @property
+    def residual_symptoms(self) -> set[Symptom]:
+        """Symptoms the hardening failed to absorb."""
+        return {
+            run.outcome.symptom
+            for run in self.hardened
+            if run.outcome.symptom is not None
+        }
+
+
+@dataclass
+class AbReport:
+    """Campaign-level A/B comparison plus the shared resilience ledger."""
+
+    config: ResilienceConfig
+    ledger: ResilienceLedger
+    results: list[AbFaultResult] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def result_for(self, fault_id: str) -> AbFaultResult:
+        for result in self.results:
+            if result.spec.fault_id == fault_id:
+                return result
+        raise KeyError(fault_id)
+
+    def _runs(self) -> int:
+        return sum(len(r.baseline) for r in self.results)
+
+    @property
+    def baseline_symptom_rate(self) -> float:
+        """Fraction of all bare runs that surfaced a symptom."""
+        runs = self._runs()
+        hits = sum(
+            1 for r in self.results for o in r.baseline if o.symptom is not None
+        )
+        return hits / runs if runs else 0.0
+
+    @property
+    def hardened_symptom_rate(self) -> float:
+        runs = self._runs()
+        hits = sum(
+            1
+            for r in self.results
+            for run in r.hardened
+            if run.outcome.symptom is not None
+        )
+        return hits / runs if runs else 0.0
+
+    @property
+    def symptom_reduction(self) -> float:
+        """Absolute drop in the per-run symptom rate bought by hardening."""
+        return self.baseline_symptom_rate - self.hardened_symptom_rate
+
+    @property
+    def mean_recovery_latency(self) -> float:
+        """Mean backoff seconds per recovered restart run."""
+        recovered = [
+            run for r in self.results for run in r.hardened if run.recovered
+        ]
+        if not recovered:
+            return 0.0
+        return sum(run.recovery_latency for run in recovered) / len(recovered)
+
+    def improved_results(self) -> list[AbFaultResult]:
+        return [r for r in self.results if r.improved]
+
+    def residual_by_root_cause(self) -> dict[RootCause, int]:
+        """Hardened runs still symptomatic, grouped by the fault's root cause.
+
+        This is the campaign's punchline table: what survives retry,
+        breaker, and supervised restart is dominated by deterministic root
+        causes (missing logic, misconfiguration) that demand input-level
+        fixes, not another restart.
+        """
+        breakdown: dict[RootCause, int] = {}
+        for result in self.results:
+            residual = sum(
+                1 for run in result.hardened if run.outcome.symptom is not None
+            )
+            if residual:
+                breakdown[result.spec.root_cause] = (
+                    breakdown.get(result.spec.root_cause, 0) + residual
+                )
+        return breakdown
+
+    def summary(self) -> dict[str, object]:
+        """The headline numbers, ready for reporting/benchmark tables."""
+        return {
+            "faults": len(self.results),
+            "runs_per_arm": self._runs(),
+            "baseline_symptom_rate": round(self.baseline_symptom_rate, 4),
+            "hardened_symptom_rate": round(self.hardened_symptom_rate, 4),
+            "symptom_reduction": round(self.symptom_reduction, 4),
+            "improved_faults": [
+                r.spec.fault_id for r in self.improved_results()
+            ],
+            "mean_recovery_latency": round(self.mean_recovery_latency, 3),
+            "ledger_events": len(self.ledger),
+        }

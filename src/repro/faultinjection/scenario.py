@@ -10,8 +10,13 @@ the scenario before or during the run.
 from __future__ import annotations
 
 import random
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.ledger import ResilienceLedger
+from repro.resilience.policies import ResilienceConfig
 
 from repro.sdnsim.apps import (
     AclApp,
@@ -28,7 +33,7 @@ from repro.sdnsim.datapath import Switch
 from repro.sdnsim.messages import BROADCAST_MAC, Packet
 from repro.sdnsim.observers import Observation, Outcome, OutcomeClassifier, observe
 from repro.sdnsim.optical import OltDevice, OnuDevice, VolthaAdapter
-from repro.sdnsim.services import AuthService, TimeSeriesDB
+from repro.sdnsim.services import AuthService, GuardedTimeSeriesDB, TimeSeriesDB
 
 HOSTS = {
     1: "aa:00:00:00:00:01",
@@ -56,6 +61,26 @@ def default_config() -> dict[str, Any]:
     }
 
 
+#: Active (config, ledger) pair installed by :func:`resilience_context`;
+#: lets the A/B campaign harden every scenario a fault builder constructs
+#: without threading a parameter through each of the catalog's builders.
+_ACTIVE_RESILIENCE: tuple[ResilienceConfig, ResilienceLedger | None] | None = None
+
+
+@contextmanager
+def resilience_context(
+    config: ResilienceConfig, ledger: ResilienceLedger | None = None
+) -> Iterator[None]:
+    """Make every :func:`build_scenario` in the block resilience-hardened."""
+    global _ACTIVE_RESILIENCE
+    previous = _ACTIVE_RESILIENCE
+    _ACTIVE_RESILIENCE = (config, ledger)
+    try:
+        yield
+    finally:
+        _ACTIVE_RESILIENCE = previous
+
+
 @dataclass
 class ScenarioResult:
     """Everything a fault or a check might need to inspect."""
@@ -68,6 +93,9 @@ class ScenarioResult:
     adapter: VolthaAdapter
     olt: OltDevice
     checks: list[tuple[str, bool]] = field(default_factory=list)
+    #: Set when the scenario was built hardened (resilience enabled).
+    guarded_tsdb: GuardedTimeSeriesDB | None = None
+    ledger: ResilienceLedger | None = None
 
     def observation(self) -> Observation:
         return observe(
@@ -94,12 +122,22 @@ def build_scenario(
     adapter_timeout: float | None = 30.0,
     global_lock: bool = True,
     input_validation: bool = False,
+    resilience: ResilienceConfig | None = None,
+    resilience_ledger: ResilienceLedger | None = None,
 ) -> ScenarioResult:
     """Assemble the standard scenario.
 
     The defaults are the *fixed* variants of every named bug; fault
     injectors flip individual knobs back to the buggy configuration.
+    With ``resilience`` set (explicitly, or ambiently through
+    :func:`resilience_context`) the TSDB is wrapped in a
+    :class:`GuardedTimeSeriesDB` — breaker + retry on the sim clock — and
+    every resilience action lands in the scenario's ledger.
     """
+    if resilience is None and _ACTIVE_RESILIENCE is not None:
+        resilience, ambient_ledger = _ACTIVE_RESILIENCE
+        if resilience_ledger is None:
+            resilience_ledger = ambient_ledger
     raw = default_config()
     for key in drop_config_keys:
         raw.pop(key, None)
@@ -122,6 +160,25 @@ def build_scenario(
     tsdb = TimeSeriesDB(api_version=tsdb_api_version, available=tsdb_available)
     auth = AuthService(api_version=auth_api_version)
 
+    gauge_sink: TimeSeriesDB | GuardedTimeSeriesDB = tsdb
+    guarded: GuardedTimeSeriesDB | None = None
+    ledger: ResilienceLedger | None = None
+    if resilience is not None:
+        ledger = resilience_ledger if resilience_ledger is not None else ResilienceLedger()
+        breaker = CircuitBreaker(
+            scheduler,
+            name="tsdb",
+            failure_threshold=resilience.breaker_threshold,
+            window=resilience.breaker_window,
+            min_calls=resilience.breaker_min_calls,
+            cooldown=resilience.breaker_cooldown,
+            ledger=ledger,
+        )
+        guarded = GuardedTimeSeriesDB(
+            tsdb, scheduler, retry=resilience.retry, breaker=breaker, ledger=ledger
+        )
+        gauge_sink = guarded
+
     if input_validation:
         # The validator must run first so it can veto malformed events.
         runtime.add_app(InputValidatorApp())
@@ -130,7 +187,7 @@ def build_scenario(
     runtime.add_app(MirrorApp(mirror_broadcast=mirror_broadcast))
     runtime.add_app(MulticastHandler(guard_config=multicast_guard))
     runtime.add_app(
-        StatsGauge(tsdb, interval=5.0, cast_types=gauge_cast_types)
+        StatsGauge(gauge_sink, interval=5.0, cast_types=gauge_cast_types)
     )
     runtime.start()
 
@@ -148,6 +205,8 @@ def build_scenario(
         auth=auth,
         adapter=adapter,
         olt=olt,
+        guarded_tsdb=guarded,
+        ledger=ledger,
     )
 
 

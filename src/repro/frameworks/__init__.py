@@ -15,6 +15,7 @@ from repro.frameworks.strategies import (
     RecoveryAttempt,
     ReplayStrategy,
     RestartStrategy,
+    SupervisedRestartStrategy,
 )
 from repro.frameworks.evaluator import CoverageCell, CoverageReport, evaluate_coverage
 
@@ -25,6 +26,7 @@ __all__ = [
     "RecoveryAttempt",
     "ReplayStrategy",
     "RestartStrategy",
+    "SupervisedRestartStrategy",
     "CoverageCell",
     "CoverageReport",
     "evaluate_coverage",

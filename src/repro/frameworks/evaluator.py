@@ -21,6 +21,7 @@ from repro.frameworks.strategies import (
     RecoveryAttempt,
     ReplayStrategy,
     RestartStrategy,
+    SupervisedRestartStrategy,
 )
 from repro.taxonomy import BugType, Trigger
 
@@ -112,9 +113,14 @@ def evaluate_coverage(
 def mechanical_validation(
     catalog: list[FaultSpec] | None = None, *, seed: int = 0
 ) -> dict[str, list[RecoveryAttempt]]:
-    """Run the three executable strategies against every catalog fault."""
+    """Run the executable strategies against every catalog fault."""
     catalog = catalog if catalog is not None else default_catalog()
-    strategies = [RestartStrategy(), ReplayStrategy(), InputFilterStrategy()]
+    strategies = [
+        RestartStrategy(),
+        ReplayStrategy(),
+        InputFilterStrategy(),
+        SupervisedRestartStrategy(),
+    ]
     results: dict[str, list[RecoveryAttempt]] = {}
     for strategy in strategies:
         results[strategy.name] = [

@@ -23,6 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.faultinjection.faults import FaultSpec
+from repro.resilience.ledger import ResilienceEvent, ResilienceLedger
+from repro.resilience.policies import ResilienceConfig
+from repro.resilience.supervisor import SupervisedRestart
 from repro.sdnsim.observers import Outcome
 from repro.taxonomy import Symptom, Trigger
 
@@ -132,6 +135,72 @@ class ReplayStrategy:
                 if recovered
                 else "replica replayed the same failure"
             ),
+        )
+
+
+class SupervisedRestartStrategy:
+    """The resilience runtime as a recovery strategy.
+
+    Plain :class:`RestartStrategy` with the whole supervision layer
+    switched on: scenarios re-execute *hardened* (guarded TSDB, breaker —
+    via :func:`~repro.faultinjection.scenario.resilience_context`), the
+    watchdog detects stalls as well as fail-stop crashes, and restarts run
+    under the restart-intensity budget with backoff.  The strategy thus
+    additionally absorbs transient external-call symptoms, but inherits
+    restart's blind spot: deterministic bugs re-manifest on every restart.
+    """
+
+    name = "supervised_restart"
+
+    def __init__(self, *, config: ResilienceConfig | None = None) -> None:
+        self.config = config if config is not None else ResilienceConfig.default()
+
+    def attempt(self, fault: FaultSpec, *, seed: int = 0) -> RecoveryAttempt:
+        from repro.faultinjection.scenario import resilience_context
+
+        ledger = ResilienceLedger()
+        harness = SupervisedRestart(
+            backoff=self.config.restart_backoff,
+            ledger=ledger,
+            component=fault.fault_id,
+        )
+        with resilience_context(self.config, ledger):
+            run = harness.run(fault.execute, seed, trigger=fault.trigger)
+        absorbed = ledger.count(ResilienceEvent.RETRY)
+        if run.detected:
+            if run.recovered:
+                detail = (
+                    f"supervised restart #{run.restarts} came up healthy "
+                    f"after {run.recovery_latency:.1f}s backoff"
+                )
+            else:
+                detail = (
+                    f"restart-intensity budget spent (x{run.restarts}); "
+                    "the fault is deterministic in the environment"
+                )
+            return RecoveryAttempt(
+                strategy=self.name,
+                fault_id=fault.fault_id,
+                detected=True,
+                recovered=run.recovered and _is_healthy(run.outcome),
+                detail=detail,
+            )
+        if run.outcome.symptom is None and absorbed:
+            # The guard layer ate the failure before the watchdog ever saw
+            # it — detection and recovery happened below the supervisor.
+            return RecoveryAttempt(
+                strategy=self.name,
+                fault_id=fault.fault_id,
+                detected=True,
+                recovered=True,
+                detail=f"breaker/retry absorbed {absorbed} transient external failure(s)",
+            )
+        return RecoveryAttempt(
+            strategy=self.name,
+            fault_id=fault.fault_id,
+            detected=False,
+            recovered=False,
+            detail=f"watchdog saw nothing (outcome: {run.outcome.detail})",
         )
 
 

@@ -6,11 +6,18 @@ and classical classifiers (SVM / DT / PCA+SVM / AdaBoost), with the paper's
 """
 
 from repro.pipeline.autoclassifier import AutoClassifier, ClassifierKind
-from repro.pipeline.validation import ValidationReport, validate_pipeline
+from repro.pipeline.validation import (
+    ValidationReport,
+    validate_all_dimensions,
+    validate_dimensions_resilient,
+    validate_pipeline,
+)
 
 __all__ = [
     "AutoClassifier",
     "ClassifierKind",
     "ValidationReport",
+    "validate_all_dimensions",
+    "validate_dimensions_resilient",
     "validate_pipeline",
 ]

@@ -95,3 +95,32 @@ def validate_all_dimensions(
         dim: validate_pipeline(dataset, dim, kind=kind, seed=seed)
         for dim in dimensions
     }
+
+
+def validate_dimensions_resilient(
+    dataset: BugDataset,
+    *,
+    dimensions: Sequence[str] = ("bug_type", "symptom", "trigger", "root_cause", "fix"),
+    kind: ClassifierKind = ClassifierKind.SVM,
+    seed: int = 0,
+    abort_threshold: float | None = None,
+) -> tuple[dict[str, "ValidationReport"], "ExecutionReport"]:
+    """:func:`validate_all_dimensions` behind a per-dimension fault boundary.
+
+    A dimension that cannot be validated (degenerate label distribution,
+    bad ground truth, a classifier blow-up) no longer aborts the whole run:
+    it lands in the :class:`~repro.resilience.executor.ExecutionReport`'s
+    failure ledger and the remaining dimensions still produce reports, with
+    ``degraded=True`` flagging the partial result.
+    """
+    from repro.resilience.executor import ExecutionReport, ResilientExecutor
+
+    executor = ResilientExecutor(abort_threshold=abort_threshold)
+    execution = executor.map(
+        lambda dim: validate_pipeline(dataset, dim, kind=kind, seed=seed),
+        dimensions,
+    )
+    reports = {
+        dimensions[index]: report for index, report in execution.results.items()
+    }
+    return reports, execution

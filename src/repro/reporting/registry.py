@@ -200,6 +200,14 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "benchmarks/bench_robustness.py",
         ("repro.pipeline.robustness",),
     ),
+    Experiment(
+        "resilience",
+        "SS VII-C takeaway (extension)",
+        "A/B fault campaign: resilience runtime absorbs non-deterministic "
+        "faults only",
+        "benchmarks/bench_resilience.py",
+        ("repro.resilience", "repro.faultinjection", "repro.chaos"),
+    ),
 )
 
 

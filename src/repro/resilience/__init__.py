@@ -1,0 +1,54 @@
+"""The resilience runtime: the taxonomy's operational counterpart.
+
+Where :mod:`repro.taxonomy` names what goes wrong and
+:mod:`repro.faultinjection` makes it happen, this package is the layer that
+*absorbs* it: retry/backoff policies, deadlines and bulkheads
+(:mod:`policies`), a circuit breaker (:mod:`breaker`), a supervision tree
+with restart-intensity limits and escalation (:mod:`supervisor`), a
+per-item pipeline fault boundary (:mod:`executor`), and a ledger that
+prices every recovery action against the taxonomy cell it addressed
+(:mod:`ledger`).
+
+Everything runs on the simulated clock — policies compute delays, the
+simulator's ``EventScheduler`` spends them — so hardened scenarios stay
+deterministic, and ``FaultCampaign.run_ab`` can measure exactly what the
+hardening buys (and what it cannot: deterministic bugs shrug off
+restart-style recovery, per the paper's §VII).
+"""
+
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.executor import ExecutionReport, ItemFailure, ResilientExecutor
+from repro.resilience.ledger import LedgerRecord, ResilienceEvent, ResilienceLedger
+from repro.resilience.policies import (
+    Bulkhead,
+    Deadline,
+    ResilienceConfig,
+    RetryPolicy,
+)
+from repro.resilience.supervisor import (
+    ChildSpec,
+    RestartRun,
+    SupervisedRestart,
+    Supervisor,
+    SupervisionStrategy,
+)
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "ExecutionReport",
+    "ItemFailure",
+    "ResilientExecutor",
+    "LedgerRecord",
+    "ResilienceEvent",
+    "ResilienceLedger",
+    "Bulkhead",
+    "Deadline",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "ChildSpec",
+    "RestartRun",
+    "SupervisedRestart",
+    "Supervisor",
+    "SupervisionStrategy",
+]

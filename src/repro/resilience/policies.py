@@ -1,0 +1,232 @@
+"""Composable resilience policies: retry/backoff, deadlines, bulkheads.
+
+Every policy is deterministic and clock-agnostic: a :class:`RetryPolicy`
+*computes* delays (with seeded jitter) and leaves the scheduling to callers,
+which drive the simulation :class:`~repro.sdnsim.clock.EventScheduler` —
+nothing here ever touches wall-clock time, so hardened scenarios stay
+exactly as reproducible as unhardened ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import BulkheadFullError, DeadlineExceededError, ResilienceError
+from repro.resilience.ledger import ResilienceEvent, ResilienceLedger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sdnsim.clock import SimClock
+
+
+class RetryPolicy:
+    """A deterministic retry schedule.
+
+    Parameters
+    ----------
+    max_attempts:
+        Retries granted *after* the initial attempt (0 disables retrying).
+    base_delay:
+        Delay before the first retry, in simulated seconds.
+    multiplier:
+        Backoff factor between consecutive retries; ``1.0`` is a fixed
+        schedule, ``> 1`` exponential.
+    max_delay:
+        Cap applied to every computed delay (before jitter).
+    jitter:
+        Fractional jitter amplitude in ``[0, 1)``: each delay is scaled by a
+        factor drawn uniformly from ``[1 - jitter, 1 + jitter]`` using a RNG
+        seeded from ``(seed, attempt)``, so the schedule is reproducible and
+        independent of call order.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_attempts: int = 3,
+        base_delay: float = 0.5,
+        multiplier: float = 2.0,
+        max_delay: float = 30.0,
+        jitter: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if max_attempts < 0:
+            raise ResilienceError(f"max_attempts must be >= 0, got {max_attempts}")
+        if base_delay < 0:
+            raise ResilienceError(f"base_delay must be >= 0, got {base_delay}")
+        if multiplier < 1.0:
+            raise ResilienceError(f"multiplier must be >= 1, got {multiplier}")
+        if max_delay < base_delay:
+            raise ResilienceError("max_delay must be >= base_delay")
+        if not 0.0 <= jitter < 1.0:
+            raise ResilienceError(f"jitter must be in [0, 1), got {jitter}")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.seed = seed
+
+    @classmethod
+    def fixed(cls, delay: float, *, max_attempts: int = 3, **kwargs) -> "RetryPolicy":
+        """A fixed-interval schedule: every retry waits ``delay`` seconds."""
+        return cls(
+            max_attempts=max_attempts,
+            base_delay=delay,
+            multiplier=1.0,
+            max_delay=max(delay, kwargs.pop("max_delay", delay)),
+            **kwargs,
+        )
+
+    @classmethod
+    def exponential(
+        cls, base_delay: float = 0.5, *, max_attempts: int = 3, **kwargs
+    ) -> "RetryPolicy":
+        """The conventional doubling schedule."""
+        return cls(max_attempts=max_attempts, base_delay=base_delay, **kwargs)
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ResilienceError(f"attempt is 1-based, got {attempt}")
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        if self.jitter:
+            rng = random.Random((self.seed << 16) ^ attempt)
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return raw
+
+    def delays(self) -> list[float]:
+        """The full schedule, one delay per granted retry."""
+        return [self.delay_for(i) for i in range(1, self.max_attempts + 1)]
+
+    @property
+    def total_delay(self) -> float:
+        """Worst-case seconds spent backing off if every retry is used."""
+        return sum(self.delays())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_delay={self.base_delay}, multiplier={self.multiplier})"
+        )
+
+
+class Deadline:
+    """A time budget measured against a :class:`SimClock` (never wall-clock).
+
+    Policies compose: an operation can carry a deadline while its retries
+    back off — :meth:`check` raises once the simulated clock passes the
+    budget, bounding how much recovery latency a caller will tolerate.
+    """
+
+    def __init__(self, clock: "SimClock", budget: float) -> None:
+        if budget <= 0:
+            raise ResilienceError(f"deadline budget must be > 0, got {budget}")
+        self.clock = clock
+        self.budget = budget
+        self.expires_at = clock.now + budget
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.expires_at - self.clock.now)
+
+    @property
+    def expired(self) -> bool:
+        return self.clock.now >= self.expires_at
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceededError` once the budget is spent."""
+        if self.expired:
+            raise DeadlineExceededError(
+                f"{what} exceeded its {self.budget:.1f}s deadline "
+                f"(now {self.clock.now:.1f}, expired {self.expires_at:.1f})"
+            )
+
+
+class Bulkhead:
+    """A concurrency cap isolating one resource pool from overload.
+
+    ``acquire`` raises :class:`BulkheadFullError` once ``capacity`` callers
+    hold the bulkhead; rejected calls are recorded (and ledgered as sheds)
+    so campaigns can account for deliberately dropped work.  Usable as a
+    context manager.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        name: str = "bulkhead",
+        ledger: ResilienceLedger | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ResilienceError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self.ledger = ledger
+        self.in_use = 0
+        self.peak_in_use = 0
+        self.rejected = 0
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def acquire(self) -> None:
+        if self.in_use >= self.capacity:
+            self.rejected += 1
+            if self.ledger is not None:
+                self.ledger.record(
+                    ResilienceEvent.SHED,
+                    self.name,
+                    detail=f"concurrency cap {self.capacity} reached",
+                )
+            raise BulkheadFullError(
+                f"bulkhead {self.name!r} is full ({self.capacity} in use)"
+            )
+        self.in_use += 1
+        self.peak_in_use = max(self.peak_in_use, self.in_use)
+
+    def release(self) -> None:
+        if self.in_use == 0:
+            raise ResilienceError(f"bulkhead {self.name!r} released while empty")
+        self.in_use -= 1
+
+    def __enter__(self) -> "Bulkhead":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """The knob bundle a hardened scenario or A/B campaign applies.
+
+    ``retry`` guards transient external calls (TSDB writes); the breaker
+    fields shape the :class:`~repro.resilience.breaker.CircuitBreaker` in
+    front of those calls; ``restart_backoff`` is the supervised-restart
+    schedule (its ``max_attempts`` is the restart-intensity budget).
+    """
+
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            max_attempts=3, base_delay=1.0, multiplier=2.0, jitter=0.1
+        )
+    )
+    restart_backoff: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            max_attempts=2, base_delay=2.0, multiplier=2.0
+        )
+    )
+    breaker_threshold: float = 0.5
+    breaker_window: int = 6
+    breaker_min_calls: int = 3
+    breaker_cooldown: float = 10.0
+
+    @staticmethod
+    def default() -> "ResilienceConfig":
+        """The stock hardening profile used by ``hardened=True`` knobs."""
+        return ResilienceConfig()

@@ -24,7 +24,7 @@ from repro.sdnsim.messages import (
 )
 from repro.sdnsim.datapath import FlowEntry, Switch
 from repro.sdnsim.config import ControllerConfig, validate_config
-from repro.sdnsim.services import AuthService, TimeSeriesDB
+from repro.sdnsim.services import AuthService, GuardedTimeSeriesDB, TimeSeriesDB
 from repro.sdnsim.optical import OltDevice, OnuDevice, VolthaAdapter
 from repro.sdnsim.cluster import ClusterInstance, ControllerCluster, InstanceState
 from repro.sdnsim.controller import ControllerRuntime
@@ -54,6 +54,7 @@ __all__ = [
     "ControllerConfig",
     "validate_config",
     "AuthService",
+    "GuardedTimeSeriesDB",
     "TimeSeriesDB",
     "OltDevice",
     "OnuDevice",

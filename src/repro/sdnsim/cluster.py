@@ -82,11 +82,6 @@ class ControllerCluster:
             nid for nid, inst in self.instances.items() if inst.is_alive
         )
 
-    def _quorum_base(self) -> int:
-        if self.quorum_counts_live_members:
-            return max(len(self.live_members), 1)
-        return self.configured_size
-
     def has_quorum(self) -> bool:
         """True when a majority (of the quorum base) is alive.
 

@@ -105,6 +105,35 @@ class TestChaosMonkey:
         assert len(applied) == 4
         assert report.finding_rate == 0.0  # noop perturbations break nothing
 
+    def test_run_once_crash_boundary(self):
+        """An exception escaping the workload is a controller crash, not a
+        chaos-campaign abort: the run still yields a classified outcome."""
+
+        def explode(scenario, rng):
+            raise RuntimeError("perturbation blew up mid-run")
+
+        monkey = ChaosMonkey(
+            build_scenario,
+            perturbations=[Perturbation("explode", Trigger.NETWORK_EVENTS, explode)],
+            intensity=1,
+            seed=0,
+        )
+        names, outcome = monkey.run_once(0)
+        assert names == ("explode",)
+        assert outcome.symptom is Symptom.FAIL_STOP
+        assert "RuntimeError" in outcome.detail
+        # The whole campaign survives crashing runs and records the finding.
+        report = monkey.run_campaign(runs=3)
+        assert len(report.findings) == 3
+
+    def test_hardened_knob_builds_guarded_scenarios(self):
+        monkey = ChaosMonkey(seed=5, hardened=True)
+        assert monkey.ledger is not None
+        _, outcome = monkey.run_once(0)
+        assert outcome is not None
+        plain = ChaosMonkey(seed=5)
+        assert plain.ledger is None
+
 
 class TestCluster:
     def test_onos_5992_case(self):
@@ -161,3 +190,29 @@ class TestCluster:
 
         with pytest.raises(SimulationError):
             ControllerCluster(["a", "a"], EventScheduler())
+
+    def test_single_live_node_retains_quorum(self):
+        from repro.sdnsim import ControllerCluster, EventScheduler
+
+        scheduler = EventScheduler()
+        # A 1-node cluster is its own majority under both quorum bases.
+        for counts_live in (True, False):
+            cluster = ControllerCluster(
+                ["solo"], scheduler, quorum_counts_live_members=counts_live
+            )
+            assert cluster.has_quorum()
+            assert cluster.leader == "solo"
+            assert cluster.assign_mastership(1) == "solo"
+
+    def test_all_members_dead_is_not_wedged(self):
+        from repro.sdnsim import ControllerCluster, EventScheduler
+
+        scheduler = EventScheduler()
+        cluster = ControllerCluster(["solo"], scheduler)
+        cluster.kill_instance("solo")
+        scheduler.run(until=10)
+        assert not cluster.has_quorum()
+        assert cluster.leader is None
+        # Wedged means live members exist without quorum; a fully dead
+        # cluster is simply down.
+        assert not cluster.is_wedged()

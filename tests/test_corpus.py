@@ -277,6 +277,15 @@ class TestJsonlIO:
         with pytest.raises(CorpusError, match="bad.jsonl:1"):
             load_dataset_jsonl(path)
 
+    def test_null_fields_report_position(self, tmp_path):
+        # A structurally wrong record (null where an object is expected)
+        # must surface as a CorpusError with the line number, not a bare
+        # TypeError from deep inside from_dict.
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"report": null, "label": null}\n')
+        with pytest.raises(CorpusError, match="bad.jsonl:1"):
+            load_dataset_jsonl(path)
+
     def test_blank_lines_skipped(self, dataset, tmp_path):
         subset = dataset.sample(3, seed=4)
         path = tmp_path / "bugs.jsonl"
