@@ -8,6 +8,7 @@ validate     Run the SS II-C NLP validation protocol.
 inject       Execute the fault-injection campaign and the named case studies.
 chaos        Run a Chaos-Monkey fuzzing campaign.
 resilience   A/B fault campaign: bare scenarios vs the resilience runtime.
+adversary    Control-plane adversary: violate an invariant, minimize the trace.
 experiments  List every reproducible paper artifact and its bench.
 """
 
@@ -166,6 +167,63 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_adversary(args: argparse.Namespace) -> int:
+    from repro.adversary import (
+        find_violating_schedule,
+        minimize_schedule,
+        run_adversary,
+    )
+
+    if args.ab:
+        from repro.faultinjection import FaultCampaign
+
+        campaign = FaultCampaign(base_seed=args.seed, seeds_per_fault=args.schedules)
+        report = campaign.run_adversarial_ab(events=args.events)
+        rows = [
+            [name, str(bare), str(hardened)]
+            for name, (bare, hardened) in sorted(report.per_invariant().items())
+        ]
+        print(ascii_table(
+            ["invariant", "bare", "hardened"],
+            rows,
+            title="Adversarial A/B: violating subjects per invariant",
+        ))
+        summary = report.summary()
+        print(f"violating subjects: {summary['bare_violations']} bare -> "
+              f"{summary['hardened_violations']} hardened "
+              f"(reduction {summary['violation_reduction']}); "
+              f"hardened spent {summary['hardened_retries']} retries")
+        return 0
+
+    seed, schedule, result = find_violating_schedule(
+        args.seed, events=args.events, hardened=args.hardened
+    )
+    print(f"seed {seed}: {len(schedule)} events -> "
+          f"{len(result.violations)} violation(s)")
+    first = result.first_violation
+    assert first is not None
+    print(f"first violation: {first.invariant} on {first.subject} "
+          f"at t={first.time:.3f} ({first.detail})")
+    for name, count in sorted(result.by_invariant().items()):
+        print(f"  {name}: {count}")
+
+    minimized = minimize_schedule(schedule, hardened=args.hardened)
+    print()
+    print(minimized.summary())
+    for event in minimized.minimized.events:
+        print(f"  t={event.time:8.3f} {event.action.value:10s} "
+              f"{event.target}" + (f" param={event.param}" if event.param else ""))
+    replay = run_adversary(minimized.minimized, hardened=args.hardened)
+    print(f"replay of minimized trace violates: {replay.violated} "
+          f"({replay.first_violation.invariant if replay.first_violation else '-'})")
+    if args.trace_out:
+        import pathlib
+
+        pathlib.Path(args.trace_out).write_text(minimized.minimized.to_json())
+        print(f"minimized trace written to {args.trace_out}")
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.reporting import EXPERIMENTS
 
@@ -220,6 +278,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seeds", type=int, default=3, help="seeds per fault")
     p.set_defaults(fn=_cmd_resilience)
+
+    p = sub.add_parser(
+        "adversary",
+        help="control-plane adversary: violate an invariant, minimize the trace",
+    )
+    p.add_argument("--seed", type=int, default=0, help="first schedule seed to try")
+    p.add_argument("--events", type=int, default=20, help="events per schedule")
+    p.add_argument("--hardened", action="store_true",
+                   help="run against the hardened control plane")
+    p.add_argument("--ab", action="store_true",
+                   help="adversarial A/B: bare vs hardened over many schedules")
+    p.add_argument("--schedules", type=int, default=5,
+                   help="schedules for --ab mode")
+    p.add_argument("--trace-out", help="write the minimized trace JSON here")
+    p.set_defaults(fn=_cmd_adversary)
 
     p = sub.add_parser("experiments", help="list reproducible artifacts")
     p.set_defaults(fn=_cmd_experiments)

@@ -1,0 +1,124 @@
+"""STS-style trace minimization: delta debugging over fault schedules.
+
+Given a schedule that violates an invariant, shrink it to a minimal
+sub-schedule that still reproduces *the same* invariant violation under
+deterministic replay — the core of Scott et al.'s STS (SIGCOMM'14) retrofit
+troubleshooting loop.  Because every adversary run is a pure function of
+its schedule, the classic ddmin algorithm (Zeller & Hildebrandt) applies
+directly: no flakiness handling, no replay heuristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.adversary.schedule import FaultSchedule
+from repro.adversary.world import AdversaryResult, run_adversary
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class MinimizationResult:
+    """The outcome of one ddmin pass."""
+
+    original: FaultSchedule
+    minimized: FaultSchedule
+    target: str
+    replays: int
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of events removed (0 = nothing, 1 = everything)."""
+        if not len(self.original):
+            return 0.0
+        return 1.0 - len(self.minimized) / len(self.original)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.original)} -> {len(self.minimized)} events "
+            f"({self.reduction:.0%} removed) reproducing {self.target!r} "
+            f"in {self.replays} replays"
+        )
+
+
+def _chunks(indices: list[int], n: int) -> list[list[int]]:
+    """Split ``indices`` into ``n`` near-equal contiguous chunks."""
+    size, rem = divmod(len(indices), n)
+    out: list[list[int]] = []
+    start = 0
+    for i in range(n):
+        end = start + size + (1 if i < rem else 0)
+        if end > start:
+            out.append(indices[start:end])
+        start = end
+    return out
+
+
+def minimize_schedule(
+    schedule: FaultSchedule,
+    *,
+    target: str | None = None,
+    replay: Callable[[FaultSchedule], AdversaryResult] | None = None,
+    max_replays: int = 512,
+    **world_kwargs,
+) -> MinimizationResult:
+    """ddmin ``schedule`` down to a minimal reproducer of ``target``.
+
+    ``target`` is an invariant name; by default the invariant of the first
+    violation the full schedule produces.  ``replay`` defaults to
+    :func:`run_adversary` with ``world_kwargs`` (e.g. ``hardened=True``) —
+    pass a custom closure to minimize against a different system under test.
+    """
+    if replay is None:
+        replay = lambda s: run_adversary(s, **world_kwargs)  # noqa: E731
+
+    replays = 0
+
+    def violates(sub: FaultSchedule, wanted: str) -> bool:
+        nonlocal replays
+        replays += 1
+        if replays > max_replays:
+            raise ReproError(f"minimization exceeded {max_replays} replays")
+        return any(v.invariant == wanted for v in replay(sub).violations)
+
+    base = replay(schedule)
+    replays += 1
+    if not base.violations:
+        raise ReproError("schedule does not violate any invariant; nothing to minimize")
+    if target is None:
+        target = base.violations[0].invariant
+    elif not any(v.invariant == target for v in base.violations):
+        raise ReproError(f"schedule does not violate {target!r}")
+
+    indices = list(range(len(schedule)))
+    n = 2
+    while len(indices) >= 2:
+        reduced = False
+        for chunk in _chunks(indices, n):
+            if violates(schedule.subset(chunk), target):
+                indices = chunk
+                n = 2
+                reduced = True
+                break
+        if reduced:
+            continue
+        if n < len(indices):
+            for chunk in _chunks(indices, n):
+                complement = [i for i in indices if i not in set(chunk)]
+                if complement and violates(schedule.subset(complement), target):
+                    indices = complement
+                    n = max(n - 1, 2)
+                    reduced = True
+                    break
+        if reduced:
+            continue
+        if n < len(indices):
+            n = min(len(indices), 2 * n)
+        else:
+            break
+
+    minimized = schedule.subset(indices)
+    return MinimizationResult(
+        original=schedule, minimized=minimized, target=target, replays=replays
+    )

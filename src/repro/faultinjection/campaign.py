@@ -3,13 +3,18 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.faultinjection.faults import FaultSpec, default_catalog
-from repro.resilience.ledger import ResilienceLedger
+from repro.resilience.ledger import ResilienceEvent, ResilienceLedger
 from repro.resilience.policies import ResilienceConfig
 from repro.resilience.supervisor import RestartRun, SupervisedRestart
 from repro.sdnsim.observers import Outcome
 from repro.taxonomy import BugType, RootCause, Symptom
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.adversary.schedule import FaultSchedule
+    from repro.adversary.world import AdversaryResult
 
 
 @dataclass
@@ -147,6 +152,105 @@ class FaultCampaign:
                 AbFaultResult(spec=spec, baseline=baseline, hardened=hardened)
             )
         return report
+
+    def run_adversarial_ab(
+        self,
+        *,
+        schedules: "list[FaultSchedule] | None" = None,
+        events: int = 20,
+        horizon: float = 60.0,
+    ) -> "AdversarialAbReport":
+        """Message-level A/B: replay fault schedules bare vs hardened.
+
+        Each schedule (one per configured seed, or an explicit list) is
+        replayed twice against the adversary world: bare — buggy ONOS-5992
+        quorum accounting, last-writer-wins mastership views, no
+        retransmission — and hardened, the PR-1-style build (fixed quorum,
+        term-checked views, retry with ledger pricing, anti-entropy on
+        heal).  The report compares *per-invariant* violating-subject
+        counts between the arms.
+        """
+        from repro.adversary.schedule import random_schedule
+        from repro.adversary.world import run_adversary
+
+        if schedules is None:
+            schedules = [
+                random_schedule(self.base_seed + i, events=events, horizon=horizon)
+                for i in range(self.seeds_per_fault)
+            ]
+        bare_ledger = ResilienceLedger()
+        hardened_ledger = ResilienceLedger()
+        report = AdversarialAbReport(
+            bare_ledger=bare_ledger, hardened_ledger=hardened_ledger
+        )
+        for schedule in schedules:
+            report.schedules.append(schedule)
+            report.bare.append(
+                run_adversary(schedule, hardened=False, ledger=bare_ledger)
+            )
+            report.hardened.append(
+                run_adversary(schedule, hardened=True, ledger=hardened_ledger)
+            )
+        return report
+
+
+@dataclass
+class AdversarialAbReport:
+    """Paired bare/hardened adversary runs over the same schedules.
+
+    The comparison unit is the *violating subject* — a distinct
+    (invariant, device-or-cluster) pair that broke at least once — which
+    keeps flapping liveness properties from over-counting either arm.
+    """
+
+    bare_ledger: ResilienceLedger
+    hardened_ledger: ResilienceLedger
+    schedules: "list[FaultSchedule]" = field(default_factory=list)
+    bare: "list[AdversaryResult]" = field(default_factory=list)
+    hardened: "list[AdversaryResult]" = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.schedules)
+
+    @staticmethod
+    def _counts(results: "list[AdversaryResult]") -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for result in results:
+            for invariant, n in result.distinct_by_invariant().items():
+                counts[invariant] = counts.get(invariant, 0) + n
+        return counts
+
+    def per_invariant(self) -> dict[str, tuple[int, int]]:
+        """``invariant -> (bare, hardened)`` violating-subject counts."""
+        bare = self._counts(self.bare)
+        hardened = self._counts(self.hardened)
+        return {
+            name: (bare.get(name, 0), hardened.get(name, 0))
+            for name in sorted(set(bare) | set(hardened))
+        }
+
+    @property
+    def bare_violation_count(self) -> int:
+        return sum(len(r.violated_subjects()) for r in self.bare)
+
+    @property
+    def hardened_violation_count(self) -> int:
+        return sum(len(r.violated_subjects()) for r in self.hardened)
+
+    @property
+    def violation_reduction(self) -> int:
+        """Violating subjects the hardened build absorbed."""
+        return self.bare_violation_count - self.hardened_violation_count
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "schedules": len(self.schedules),
+            "events_per_schedule": [len(s) for s in self.schedules],
+            "bare_violations": self.bare_violation_count,
+            "hardened_violations": self.hardened_violation_count,
+            "violation_reduction": self.violation_reduction,
+            "hardened_retries": self.hardened_ledger.count(ResilienceEvent.RETRY),
+        }
 
 
 @dataclass

@@ -21,6 +21,7 @@ from repro.frameworks.strategies import (
     RecoveryAttempt,
     ReplayStrategy,
     RestartStrategy,
+    STSMinimizationStrategy,
     SupervisedRestartStrategy,
 )
 from repro.taxonomy import BugType, Trigger
@@ -120,6 +121,7 @@ def mechanical_validation(
         ReplayStrategy(),
         InputFilterStrategy(),
         SupervisedRestartStrategy(),
+        STSMinimizationStrategy(),
     ]
     results: dict[str, list[RecoveryAttempt]] = {}
     for strategy in strategies:

@@ -208,6 +208,14 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "benchmarks/bench_resilience.py",
         ("repro.resilience", "repro.faultinjection", "repro.chaos"),
     ),
+    Experiment(
+        "adversary",
+        "SS VII-C frameworks (extension)",
+        "control-plane adversary: invariant violations minimized to STS-style "
+        "reproducers; bare vs hardened A/B",
+        "benchmarks/bench_adversary.py",
+        ("repro.adversary", "repro.faultinjection", "repro.frameworks"),
+    ),
 )
 
 

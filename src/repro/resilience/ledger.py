@@ -29,6 +29,8 @@ class ResilienceEvent(enum.Enum):
     ESCALATION = "escalation"
     GIVE_UP = "give_up"
     DEGRADATION = "degradation"
+    #: An invariant monitor observed a property violation (adversary runs).
+    VIOLATION = "violation"
 
 
 @dataclass(frozen=True)
@@ -45,6 +47,32 @@ class LedgerRecord:
     attempt: int = 0
     #: Backoff / cool-down seconds this action spent (the recovery cost).
     delay: float = 0.0
+
+    def to_dict(self) -> dict[str, object]:
+        """Flat JSON-safe form; enum fields become their values."""
+        return {
+            "time": self.time,
+            "event": self.event.value,
+            "component": self.component,
+            "detail": self.detail,
+            "trigger": self.trigger.value if self.trigger is not None else None,
+            "symptom": self.symptom.value if self.symptom is not None else None,
+            "attempt": self.attempt,
+            "delay": self.delay,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "LedgerRecord":
+        return cls(
+            time=float(data["time"]),  # type: ignore[arg-type]
+            event=ResilienceEvent(data["event"]),
+            component=str(data["component"]),
+            detail=str(data.get("detail", "")),
+            trigger=Trigger(data["trigger"]) if data.get("trigger") else None,
+            symptom=Symptom(data["symptom"]) if data.get("symptom") else None,
+            attempt=int(data.get("attempt", 0)),  # type: ignore[arg-type]
+            delay=float(data.get("delay", 0.0)),  # type: ignore[arg-type]
+        )
 
 
 @dataclass
@@ -109,6 +137,25 @@ class ResilienceLedger:
             if record.symptom is not None:
                 counts[record.symptom] = counts.get(record.symptom, 0) + 1
         return counts
+
+    # -- serialization ----------------------------------------------------------
+    def to_dicts(self) -> list[dict[str, object]]:
+        return [record.to_dict() for record in self.records]
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(self.to_dicts())
+
+    @classmethod
+    def from_dicts(cls, rows: list[dict[str, object]]) -> "ResilienceLedger":
+        return cls(records=[LedgerRecord.from_dict(row) for row in rows])
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResilienceLedger":
+        import json
+
+        return cls.from_dicts(json.loads(text))
 
     def summary(self) -> str:
         """One-line human-readable tally."""

@@ -1,0 +1,240 @@
+"""Control-plane adversary: interposition, invariants, minimization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import (
+    CHANNEL_ACTIONS,
+    FaultAction,
+    FaultEvent,
+    FaultSchedule,
+    MessageInterposer,
+    find_violating_schedule,
+    minimize_schedule,
+    random_schedule,
+    run_adversary,
+)
+from repro.errors import ReproError
+from repro.resilience import ResilienceEvent, ResilienceLedger
+from repro.sdnsim import EventScheduler
+from repro.taxonomy import Symptom
+
+
+class TestSchedule:
+    def test_events_sorted_and_replayable(self):
+        schedule = FaultSchedule()
+        schedule.add(5.0, "node:a", FaultAction.DROP, 2)
+        schedule.add(1.0, "dev:1", FaultAction.DELAY, 4.0)
+        assert [e.time for e in schedule] == [1.0, 5.0]
+        assert schedule.horizon == 5.0
+
+    def test_json_round_trip(self):
+        schedule = random_schedule(3, events=10)
+        restored = FaultSchedule.from_json(schedule.to_json())
+        assert restored == schedule
+        assert restored.to_dicts() == schedule.to_dicts()
+
+    def test_subset_preserves_order(self):
+        schedule = random_schedule(1, events=8)
+        sub = schedule.subset([0, 3, 5])
+        assert len(sub) == 3
+        assert sub.events == [schedule.events[i] for i in (0, 3, 5)]
+
+    def test_random_schedule_deterministic(self):
+        assert random_schedule(9, events=15) == random_schedule(9, events=15)
+        assert random_schedule(9, events=15) != random_schedule(10, events=15)
+
+    def test_malformed_inputs_rejected(self):
+        with pytest.raises(ReproError):
+            FaultSchedule([FaultEvent(-1.0, "node:a", FaultAction.DROP)])
+        with pytest.raises(ReproError):
+            FaultSchedule.from_dicts([{"time": 1.0, "action": "drop"}])
+        with pytest.raises(ReproError):
+            random_schedule(0, events=0)
+
+
+class TestInterposer:
+    def _make(self, **kwargs):
+        scheduler = EventScheduler()
+        delivered: list[object] = []
+        interposer = MessageInterposer(
+            scheduler,
+            lambda message, _source: delivered.append(message),
+            name="test",
+            **kwargs,
+        )
+        return scheduler, interposer, delivered
+
+    def test_drop_budget_consumes_messages(self):
+        scheduler, interposer, delivered = self._make()
+        interposer.arm(FaultAction.DROP, 2)
+        for i in range(4):
+            interposer.feed(i)
+        scheduler.run(until=1)
+        assert delivered == [2, 3]
+        assert interposer.log.count("dropped") == 2
+
+    def test_duplicate_delivers_twice(self):
+        scheduler, interposer, delivered = self._make()
+        interposer.arm(FaultAction.DUPLICATE, 1)
+        interposer.feed("m")
+        scheduler.run(until=1)
+        assert delivered == ["m", "m"]
+
+    def test_delay_defers_on_sim_clock(self):
+        scheduler, interposer, delivered = self._make()
+        interposer.arm(FaultAction.DELAY, 7.5)
+        interposer.feed("late")
+        scheduler.run(until=7.0)
+        assert delivered == []
+        scheduler.run(until=8.0)
+        assert delivered == ["late"]
+
+    def test_reorder_lets_successor_overtake(self):
+        scheduler, interposer, delivered = self._make()
+        interposer.arm(FaultAction.REORDER, 1)
+        interposer.feed("first")
+        interposer.feed("second")
+        scheduler.run(until=1)
+        assert delivered == ["second", "first"]
+
+    def test_reorder_flushes_without_successor(self):
+        scheduler, interposer, delivered = self._make()
+        interposer.arm(FaultAction.REORDER, 1)
+        interposer.feed("only")
+        scheduler.run(until=30)
+        assert delivered == ["only"]
+        assert interposer.log.count("flushed") == 1
+
+    def test_corrupt_uses_domain_corrupter(self):
+        scheduler, interposer, delivered = self._make(
+            corrupter=lambda m: m.upper() if m != "poison" else None
+        )
+        interposer.arm(FaultAction.CORRUPT, 2)
+        interposer.feed("msg")
+        interposer.feed("poison")
+        scheduler.run(until=1)
+        assert delivered == ["MSG"]
+        assert interposer.log.count("corrupted-dropped") == 1
+
+    def test_partition_oracle_cuts_traffic(self):
+        scheduler, interposer, delivered = self._make(
+            reachable=lambda source: source != "isolated"
+        )
+        interposer.feed("kept", source="peer")
+        interposer.feed("cut", source="isolated")
+        scheduler.run(until=1)
+        assert delivered == ["kept"]
+        assert interposer.log.count("partitioned") == 1
+
+    def test_non_channel_action_rejected(self):
+        _scheduler, interposer, _delivered = self._make()
+        with pytest.raises(ReproError):
+            interposer.arm(FaultAction.KILL, 0)
+        assert FaultAction.KILL not in CHANNEL_ACTIONS
+
+
+class TestAdversaryRuns:
+    def test_replay_is_deterministic(self):
+        schedule = random_schedule(4, events=20)
+        a = run_adversary(schedule)
+        b = run_adversary(schedule)
+        assert a.violations == b.violations
+        assert a.violated_subjects() == b.violated_subjects()
+
+    def test_partition_produces_dual_mastership(self):
+        """Isolate a master; the majority re-elects while the isolated node
+        keeps its stale self-claim — mastership-uniqueness fires."""
+        schedule = FaultSchedule()
+        schedule.add(5.0, "a|b,c", FaultAction.PARTITION)
+        result = run_adversary(schedule, horizon=30.0)
+        assert "mastership-uniqueness" in result.by_invariant()
+        outcome = result.outcome()
+        assert outcome.symptom is Symptom.BYZANTINE
+
+    def test_kill_wedges_buggy_cluster_only(self):
+        schedule = FaultSchedule()
+        schedule.add(5.0, "a", FaultAction.KILL)
+        bare = run_adversary(schedule, horizon=40.0)
+        hardened = run_adversary(schedule, hardened=True, horizon=40.0)
+        assert "quorum-safety" in bare.by_invariant()
+        assert not hardened.violated
+
+    def test_violations_priced_into_ledger(self):
+        ledger = ResilienceLedger()
+        schedule = FaultSchedule()
+        schedule.add(5.0, "a", FaultAction.KILL)
+        result = run_adversary(schedule, ledger=ledger, horizon=40.0)
+        assert result.violated
+        assert ledger.count(ResilienceEvent.VIOLATION) == len(result.violations)
+
+    def test_random_schedules_violate_bare_world(self):
+        for seed in range(3):
+            schedule = random_schedule(seed, events=20)
+            assert run_adversary(schedule).violated, f"seed {seed}"
+
+    def test_healthy_world_stays_clean(self):
+        schedule = FaultSchedule()
+        schedule.add(1.0, "node:a", FaultAction.DELAY, 0.5)
+        result = run_adversary(schedule, horizon=30.0)
+        assert not result.violated
+
+
+class TestMinimizer:
+    def test_acceptance_demo(self):
+        """ISSUE acceptance: a seeded schedule of >=20 events violates an
+        invariant and ddmin shrinks it to <=5 events reproducing the same
+        violation under deterministic replay."""
+        seed, schedule, result = find_violating_schedule(0, events=20)
+        assert len(schedule) >= 20
+        assert result.violated
+        minimized = minimize_schedule(schedule)
+        assert len(minimized.minimized) <= 5
+        assert minimized.reduction > 0.5
+        replay = run_adversary(minimized.minimized)
+        assert replay.violated
+        assert any(
+            v.invariant == minimized.target for v in replay.violations
+        )
+
+    def test_minimized_is_one_minimal(self):
+        """1-minimality: removing any single event loses the violation."""
+        _seed, schedule, _result = find_violating_schedule(0, events=20)
+        minimized = minimize_schedule(schedule)
+        kept = minimized.minimized
+        for drop in range(len(kept)):
+            indices = [i for i in range(len(kept)) if i != drop]
+            smaller = kept.subset(indices)
+            replay = run_adversary(smaller)
+            assert not any(
+                v.invariant == minimized.target for v in replay.violations
+            )
+
+    def test_non_violating_schedule_rejected(self):
+        schedule = FaultSchedule()
+        schedule.add(1.0, "node:a", FaultAction.DELAY, 0.5)
+        with pytest.raises(ReproError, match="does not violate"):
+            minimize_schedule(schedule)
+
+    def test_explicit_target_must_be_violated(self):
+        schedule = FaultSchedule()
+        schedule.add(5.0, "a", FaultAction.KILL)
+        with pytest.raises(ReproError, match="does not violate"):
+            minimize_schedule(schedule, target="mastership-uniqueness")
+
+
+class TestAdversarialAb:
+    def test_hardened_violates_less(self):
+        from repro.faultinjection import FaultCampaign
+
+        report = FaultCampaign(seeds_per_fault=3).run_adversarial_ab(events=16)
+        assert report.bare_violation_count > 0
+        assert report.hardened_violation_count <= report.bare_violation_count
+        summary = report.summary()
+        assert summary["schedules"] == 3
+        assert summary["hardened_retries"] > 0
+        per_invariant = report.per_invariant()
+        assert per_invariant
+        for bare, hardened in per_invariant.values():
+            assert bare >= 0 and hardened >= 0

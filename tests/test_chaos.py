@@ -134,6 +134,34 @@ class TestChaosMonkey:
         plain = ChaosMonkey(seed=5)
         assert plain.ledger is None
 
+    def test_run_once_bit_for_bit_deterministic(self):
+        """Two fresh monkeys with the same seed produce identical run_once
+        results — perturbation names AND the full classified outcome."""
+        for index in range(5):
+            first = ChaosMonkey(buggy_factory, seed=11).run_once(index)
+            second = ChaosMonkey(buggy_factory, seed=11).run_once(index)
+            names_a, outcome_a = first
+            names_b, outcome_b = second
+            assert names_a == names_b
+            assert outcome_a == outcome_b
+            assert first == second
+
+    def test_schedule_mode_replays_fault_schedule(self):
+        from repro.adversary import FaultAction, random_schedule
+
+        schedule = random_schedule(7, events=12, horizon=30.0)
+        monkey = ChaosMonkey(seed=1, schedule=schedule)
+        names, outcome = monkey.run_once(0)
+        # Every schedule event is accounted for: applied or named-skipped.
+        assert len(names) == len(schedule)
+        channel_names = {a.value for a in FaultAction}
+        for name in names:
+            base = name.split("@", 1)[0].removeprefix("skipped:")
+            assert base in channel_names
+        # Same schedule, fresh monkey: bit-for-bit identical.
+        again = ChaosMonkey(seed=1, schedule=schedule).run_once(0)
+        assert again == (names, outcome)
+
 
 class TestCluster:
     def test_onos_5992_case(self):
@@ -183,6 +211,64 @@ class TestCluster:
         # A single survivor of a 3-node cluster still has a live majority of
         # itself under live-member counting; leadership survives.
         assert cluster.leader == "c"
+
+    def test_kill_leader_failover_drains_orphans(self):
+        """Killing the *leader* re-elects, reassigns its devices, and leaves
+        the cluster un-wedged once the election delay elapses."""
+        from repro.sdnsim import ControllerCluster, EventScheduler
+
+        scheduler = EventScheduler()
+        cluster = ControllerCluster(["a", "b", "c"], scheduler)
+        for dpid in range(6):
+            cluster.assign_mastership(dpid)
+        leader = cluster.leader
+        assert leader is not None
+        cluster.kill_instance(leader)
+        # Before the election delay the leader's devices sit orphaned.
+        assert cluster.orphaned_devices()
+        scheduler.run(until=10)
+        assert cluster.orphaned_devices() == []
+        assert not cluster.is_wedged()
+        assert cluster.leader is not None and cluster.leader != leader
+        for dpid in range(6):
+            master = cluster.master_of(dpid)
+            assert master is not None and master != leader
+
+    def test_sequential_kills_keep_draining_orphans(self):
+        """Failover is repeatable: a second kill after the first settles
+        still drains every orphan onto the last survivor."""
+        from repro.sdnsim import ControllerCluster, EventScheduler
+
+        scheduler = EventScheduler()
+        cluster = ControllerCluster(["a", "b", "c"], scheduler)
+        for dpid in range(4):
+            cluster.assign_mastership(dpid)
+        cluster.kill_instance("a")
+        scheduler.run(until=10)
+        assert cluster.orphaned_devices() == []
+        cluster.kill_instance("b")
+        scheduler.run(until=20)
+        assert cluster.orphaned_devices() == []
+        assert not cluster.is_wedged()
+        assert all(cluster.master_of(dpid) == "c" for dpid in range(4))
+
+    def test_buggy_quorum_never_unwedges(self):
+        """ONOS-5992 regression: with total-member quorum the wedge persists
+        forever — no later event clears it — while the fixed knob recovers."""
+        from repro.sdnsim import ControllerCluster, EventScheduler
+
+        for counts_live, expect_wedged in ((False, True), (True, False)):
+            scheduler = EventScheduler()
+            cluster = ControllerCluster(
+                ["a", "b", "c"], scheduler,
+                quorum_counts_live_members=counts_live,
+            )
+            for dpid in range(3):
+                cluster.assign_mastership(dpid)
+            cluster.kill_instance("a")
+            scheduler.run(until=60)
+            assert cluster.is_wedged() is expect_wedged
+            assert bool(cluster.orphaned_devices()) is expect_wedged
 
     def test_duplicate_nodes_rejected(self):
         from repro.errors import SimulationError

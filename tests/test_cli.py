@@ -53,3 +53,20 @@ class TestCommands:
         assert main(["chaos", "--build", "buggy", "--runs", "3", "--show", "1"]) == 0
         out = capsys.readouterr().out
         assert "build=buggy" in out
+
+    def test_adversary_smoke(self, tmp_path, capsys):
+        from repro.adversary import FaultSchedule
+
+        trace = tmp_path / "minimized.json"
+        assert main(["adversary", "--seed", "0", "--trace-out", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "first violation" in out
+        assert "replay of minimized trace violates: True" in out
+        assert len(FaultSchedule.from_json(trace.read_text())) <= 5
+
+    def test_adversary_ab_smoke(self, capsys):
+        assert main(["adversary", "--ab", "--schedules", "2",
+                     "--events", "14"]) == 0
+        out = capsys.readouterr().out
+        assert "Adversarial A/B" in out
+        assert "violating subjects" in out

@@ -147,3 +147,22 @@ class TestCoverage:
         for attempt in results["input_filter"]:
             if attempt.recovered:
                 assert catalog[attempt.fault_id].trigger is Trigger.NETWORK_EVENTS
+
+    def test_sts_minimization_row_is_diagnosis_only(self):
+        """The trace-minimization strategy detects manifest symptoms but
+        never repairs the system — the paper's 'diagnosis only' cell."""
+        results = mechanical_validation(seed=0)
+        assert "sts_minimization" in results
+        attempts = results["sts_minimization"]
+        assert any(a.detected for a in attempts)
+        assert not any(a.recovered for a in attempts)
+        for attempt in attempts:
+            if not attempt.detected:
+                assert "nothing to minimize" in attempt.detail
+
+    def test_sts_minimize_grounds_the_row(self):
+        from repro.frameworks.strategies import STSMinimizationStrategy
+
+        result = STSMinimizationStrategy().minimize(seed=0, events=20)
+        assert len(result.minimized) <= 5
+        assert result.target

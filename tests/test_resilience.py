@@ -452,6 +452,46 @@ class TestLedger:
         assert "retry=1" in ledger.summary()
         assert "6.0s" in ledger.summary()
 
+    def test_serialization_round_trip(self):
+        """JSON round-trip preserves every record field and the totals the
+        A/B reports are priced from."""
+        ledger = ResilienceLedger()
+        ledger.record(
+            ResilienceEvent.RETRY,
+            "tsdb",
+            time=1.5,
+            detail="timeout on write",
+            trigger=Trigger.EXTERNAL_CALLS,
+            symptom=Symptom.ERROR_MESSAGE,
+            attempt=2,
+            delay=0.75,
+        )
+        ledger.record(
+            ResilienceEvent.VIOLATION,
+            "cluster",
+            time=9.0,
+            detail="wedged: live members but no quorum",
+            trigger=Trigger.NETWORK_EVENTS,
+            symptom=Symptom.BYZANTINE,
+        )
+        ledger.record(ResilienceEvent.GIVE_UP, "controller", time=12.0, delay=3.25)
+
+        restored = ResilienceLedger.from_json(ledger.to_json())
+        assert restored.records == ledger.records
+        assert restored.recovery_cost() == ledger.recovery_cost() == 4.0
+        assert restored.by_trigger() == ledger.by_trigger()
+        assert restored.absorbed_symptoms() == ledger.absorbed_symptoms()
+        assert restored.summary() == ledger.summary()
+        # None-valued trigger/symptom survive the trip (the GIVE_UP record).
+        assert restored.records[2].trigger is None
+        assert restored.records[2].symptom is None
+
+    def test_serialization_empty_ledger(self):
+        restored = ResilienceLedger.from_json(ResilienceLedger().to_json())
+        assert len(restored) == 0
+        assert restored.recovery_cost() == 0.0
+        assert "0 actions" in restored.summary()
+
 
 class TestGuardedScenario:
     def test_build_scenario_hardens_on_request(self):
