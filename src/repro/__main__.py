@@ -5,6 +5,7 @@ Commands
 generate     Generate the study corpus and write it to JSONL.
 analyze      Run RQ1-RQ3 analyses over a corpus (generated or from JSONL).
 validate     Run the SS II-C NLP validation protocol.
+pipeline     Run the NLP scaling pipeline (parallel workers + artifact cache).
 inject       Execute the fault-injection campaign and the named case studies.
 chaos        Run a Chaos-Monkey fuzzing campaign.
 resilience   A/B fault campaign: bare scenarios vs the resilience runtime.
@@ -77,6 +78,42 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         print(f"degraded run: {len(execution.failures)}/{execution.total} "
               "dimension(s) failed")
     return 1 if execution.degraded else 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from repro.parallel import ArtifactCache
+    from repro.pipeline.scaling import run_pipeline
+
+    cache = ArtifactCache(args.cache_root) if args.cache else None
+    result = run_pipeline(
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=cache,
+        dimensions=args.dimensions,
+        n_topics=args.topics,
+        nmf_restarts=args.restarts,
+    )
+    rows = [
+        [t.stage, f"{t.seconds:8.3f}s", "hit" if t.cache_hit else "-"]
+        for t in result.stages
+    ]
+    print(ascii_table(
+        ["stage", "wall time", "cache"],
+        rows,
+        title=f"NLP scaling pipeline (jobs={result.jobs}, seed={result.seed})",
+    ))
+    print()
+    for dimension, report in result.reports.items():
+        print(report.summary())
+    print(f"\ntopics ({len(result.topics)}): "
+          + "; ".join(" ".join(topic[:4]) for topic in result.topics[:4]) + " ...")
+    print(f"total {result.total_seconds:.3f}s over {result.n_documents} docs x "
+          f"{result.n_features} features")
+    if cache is not None:
+        stats = cache.stats()
+        print(f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
+              f"{stats['stored']} stored under {cache.root}")
+    return 0
 
 
 def _cmd_inject(args: argparse.Namespace) -> int:
@@ -258,6 +295,25 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["bug_type", "root_cause", "symptom", "fix", "trigger"],
     )
     p.set_defaults(fn=_cmd_validate)
+
+    p = sub.add_parser(
+        "pipeline",
+        help="run the NLP scaling pipeline with parallel workers + artifact cache",
+    )
+    p.add_argument("--seed", type=int, default=2020)
+    p.add_argument("--jobs", type=int, default=1, help="work-pool width")
+    p.add_argument("--cache", action="store_true",
+                   help="reuse artifacts keyed on seed + hyperparameters")
+    p.add_argument("--cache-root", default="benchmarks/artifacts/cache",
+                   help="artifact cache directory")
+    p.add_argument(
+        "--dimensions", nargs="+",
+        default=["bug_type", "symptom", "fix"],
+        choices=["bug_type", "root_cause", "symptom", "fix", "trigger"],
+    )
+    p.add_argument("--topics", type=int, default=8, help="NMF topic count")
+    p.add_argument("--restarts", type=int, default=4, help="NMF restarts")
+    p.set_defaults(fn=_cmd_pipeline)
 
     p = sub.add_parser("inject", help="run the fault-injection campaign")
     p.add_argument("--seeds", type=int, default=3, help="seeds per fault")

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.faultinjection.faults import FaultSpec, default_catalog
+from repro.parallel import WorkPool
 from repro.resilience.ledger import ResilienceEvent, ResilienceLedger
 from repro.resilience.policies import ResilienceConfig
 from repro.resilience.supervisor import RestartRun, SupervisedRestart
@@ -15,6 +16,55 @@ from repro.taxonomy import BugType, RootCause, Symptom
 if TYPE_CHECKING:  # pragma: no cover
     from repro.adversary.schedule import FaultSchedule
     from repro.adversary.world import AdversaryResult
+
+
+def _run_spec_task(
+    task: tuple[FaultSpec, int, int],
+) -> "FaultResult":
+    """Outcomes for one fault spec over its seed range (pure per spec)."""
+    spec, base_seed, seeds_per_fault = task
+    outcomes = [spec.execute(base_seed + i) for i in range(seeds_per_fault)]
+    return FaultResult(spec=spec, outcomes=outcomes)
+
+
+def _run_ab_spec_task(
+    task: tuple[FaultSpec, int, int, ResilienceConfig],
+) -> "tuple[AbFaultResult, ResilienceLedger]":
+    """Bare + hardened arms for one spec, with a private ledger.
+
+    Self-contained per spec so the campaign can fan specs out across
+    worker processes: ``resilience_context`` installs module-global state,
+    which is only safe when each task owns its interpreter (or runs
+    serially).  The caller merges the returned ledgers in catalog order,
+    which reproduces exactly the record sequence of the serial run.
+    """
+    from repro.faultinjection.scenario import resilience_context
+
+    spec, base_seed, seeds_per_fault, config = task
+    ledger = ResilienceLedger()
+    baseline = [spec.execute(base_seed + i) for i in range(seeds_per_fault)]
+    restarter = SupervisedRestart(
+        backoff=config.restart_backoff, ledger=ledger, component=spec.fault_id
+    )
+    with resilience_context(config, ledger):
+        hardened = [
+            restarter.run(spec.execute, base_seed + i, trigger=spec.trigger)
+            for i in range(seeds_per_fault)
+        ]
+    return AbFaultResult(spec=spec, baseline=baseline, hardened=hardened), ledger
+
+
+def _run_adversarial_schedule_task(
+    schedule: "FaultSchedule",
+) -> "tuple[AdversaryResult, ResilienceLedger, AdversaryResult, ResilienceLedger]":
+    """Bare + hardened adversary replays of one schedule, private ledgers."""
+    from repro.adversary.world import run_adversary
+
+    bare_ledger = ResilienceLedger()
+    hardened_ledger = ResilienceLedger()
+    bare = run_adversary(schedule, hardened=False, ledger=bare_ledger)
+    hardened = run_adversary(schedule, hardened=True, ledger=hardened_ledger)
+    return bare, bare_ledger, hardened, hardened_ledger
 
 
 @dataclass
@@ -98,22 +148,28 @@ class FaultCampaign:
         *,
         seeds_per_fault: int = 3,
         base_seed: int = 0,
+        jobs: int = 1,
     ) -> None:
         if seeds_per_fault < 1:
             raise ValueError("seeds_per_fault must be >= 1")
         self.catalog = list(catalog) if catalog is not None else default_catalog()
         self.seeds_per_fault = seeds_per_fault
         self.base_seed = base_seed
+        self.jobs = jobs
 
     def run(self) -> CampaignResult:
-        campaign = CampaignResult()
-        for spec in self.catalog:
-            outcomes = [
-                spec.execute(self.base_seed + i)
-                for i in range(self.seeds_per_fault)
-            ]
-            campaign.results.append(FaultResult(spec=spec, outcomes=outcomes))
-        return campaign
+        """Execute the catalog; specs fan out across ``jobs`` workers.
+
+        Each spec's outcomes are a pure function of ``(spec, base_seed)``,
+        and results are collected in catalog order, so the report is
+        identical for every ``jobs`` value.
+        """
+        pool = WorkPool(self.jobs)
+        results = pool.map(
+            _run_spec_task,
+            [(spec, self.base_seed, self.seeds_per_fault) for spec in self.catalog],
+        )
+        return CampaignResult(results=results)
 
     def run_ab(self, *, resilience: ResilienceConfig | None = None) -> AbReport:
         """Run every fault twice — bare, then hardened — and pair the results.
@@ -126,31 +182,24 @@ class FaultCampaign:
         non-deterministic bugs; deterministic ones re-manifest and remain as
         residual symptoms.
         """
-        from repro.faultinjection.scenario import resilience_context
-
         config = resilience if resilience is not None else ResilienceConfig.default()
         ledger = ResilienceLedger()
         report = AbReport(config=config, ledger=ledger)
-        for spec in self.catalog:
-            baseline = [
-                spec.execute(self.base_seed + i)
-                for i in range(self.seeds_per_fault)
-            ]
-            restarter = SupervisedRestart(
-                backoff=config.restart_backoff,
-                ledger=ledger,
-                component=spec.fault_id,
-            )
-            with resilience_context(config, ledger):
-                hardened = [
-                    restarter.run(
-                        spec.execute, self.base_seed + i, trigger=spec.trigger
-                    )
-                    for i in range(self.seeds_per_fault)
-                ]
-            report.results.append(
-                AbFaultResult(spec=spec, baseline=baseline, hardened=hardened)
-            )
+        # The process backend is required for jobs > 1: resilience_context
+        # installs module-global state, so concurrent threads would cross
+        # arms.  Each task runs with a private ledger; merging the per-spec
+        # ledgers in catalog order reproduces the serial record sequence.
+        pool = WorkPool(self.jobs, backend="serial" if self.jobs == 1 else "process")
+        outcomes = pool.map(
+            _run_ab_spec_task,
+            [
+                (spec, self.base_seed, self.seeds_per_fault, config)
+                for spec in self.catalog
+            ],
+        )
+        for result, spec_ledger in outcomes:
+            report.results.append(result)
+            ledger.records.extend(spec_ledger.records)
         return report
 
     def run_adversarial_ab(
@@ -171,7 +220,6 @@ class FaultCampaign:
         counts between the arms.
         """
         from repro.adversary.schedule import random_schedule
-        from repro.adversary.world import run_adversary
 
         if schedules is None:
             schedules = [
@@ -183,14 +231,20 @@ class FaultCampaign:
         report = AdversarialAbReport(
             bare_ledger=bare_ledger, hardened_ledger=hardened_ledger
         )
-        for schedule in schedules:
+        # Thread backend: AdversaryResult holds closures the process
+        # backend cannot pickle, and run_adversary takes explicit ledgers
+        # (no module globals), so threads are safe.  Each schedule records
+        # into private ledgers, merged below in schedule order.
+        pool = WorkPool(self.jobs, backend="serial" if self.jobs == 1 else "thread")
+        outcomes = pool.map(_run_adversarial_schedule_task, list(schedules))
+        for schedule, (bare, bare_led, hardened, hardened_led) in zip(
+            schedules, outcomes
+        ):
             report.schedules.append(schedule)
-            report.bare.append(
-                run_adversary(schedule, hardened=False, ledger=bare_ledger)
-            )
-            report.hardened.append(
-                run_adversary(schedule, hardened=True, ledger=hardened_ledger)
-            )
+            report.bare.append(bare)
+            bare_ledger.records.extend(bare_led.records)
+            report.hardened.append(hardened)
+            hardened_ledger.records.extend(hardened_led.records)
         return report
 
 

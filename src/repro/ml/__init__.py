@@ -17,7 +17,7 @@ from repro.ml.metrics import (
 )
 from repro.ml.model_selection import KFold, cross_val_score, train_test_split
 from repro.ml.naive_bayes import GaussianNB, MultinomialNB
-from repro.ml.nmf import NMF
+from repro.ml.nmf import NMF, MultiRestartResult, nmf_multi_restart
 from repro.ml.pca import PCA
 from repro.ml.preprocessing import L2Normalizer, LabelEncoder, StandardScaler
 from repro.ml.svm import LinearSVM
@@ -39,6 +39,8 @@ __all__ = [
     "GaussianNB",
     "MultinomialNB",
     "NMF",
+    "MultiRestartResult",
+    "nmf_multi_restart",
     "PCA",
     "L2Normalizer",
     "LabelEncoder",

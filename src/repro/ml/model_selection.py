@@ -11,6 +11,7 @@ from typing import Callable, Iterator, Sequence
 import numpy as np
 
 from repro.ml.metrics import accuracy_score
+from repro.parallel import WorkPool
 
 
 def train_test_split(
@@ -93,17 +94,29 @@ def cross_val_score(
     *,
     n_splits: int = 3,
     seed: int = 0,
+    pool: WorkPool | None = None,
 ) -> list[float]:
     """Accuracy per fold; ``model_factory`` builds a fresh estimator per fold.
 
-    Estimators must expose ``fit(X, y)`` and ``predict(X)``.
+    Estimators must expose ``fit(X, y)`` and ``predict(X)``.  Folds are
+    independent (fresh estimator, disjoint indices), so running them through
+    a :class:`~repro.parallel.WorkPool` returns the same scores in the same
+    fold order as the serial loop.  The thread backend is used because
+    ``model_factory`` is typically a closure, which the process backend
+    cannot pickle.
     """
     X = np.asarray(X)
     y = list(y)
-    scores: list[float] = []
-    for train_idx, test_idx in KFold(n_splits, seed=seed).split(len(y)):
+    folds = list(KFold(n_splits, seed=seed).split(len(y)))
+
+    def _score_fold(fold: tuple[np.ndarray, np.ndarray]) -> float:
+        train_idx, test_idx = fold
         model = model_factory()
         model.fit(X[train_idx], [y[i] for i in train_idx])  # type: ignore[attr-defined]
         predictions = model.predict(X[test_idx])  # type: ignore[attr-defined]
-        scores.append(accuracy_score([y[i] for i in test_idx], predictions))
-    return scores
+        return accuracy_score([y[i] for i in test_idx], predictions)
+
+    if pool is None or pool.jobs == 1:
+        return [_score_fold(fold) for fold in folds]
+    thread_pool = WorkPool(pool.jobs, backend="thread")
+    return thread_pool.map(_score_fold, folds)

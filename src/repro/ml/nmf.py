@@ -6,9 +6,12 @@ chooses NMF over LDA/HDP following prior bug-study work).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 
 from repro.errors import NotFittedError
+from repro.parallel import WorkPool
 
 _EPS = 1e-10
 
@@ -98,3 +101,66 @@ class NMF:
             order = np.argsort(row)[::-1][:n_terms]
             topics.append([feature_names[i] for i in order])
         return topics
+
+
+def _restart_task(
+    task: tuple[np.ndarray, int, int, float, int],
+) -> tuple[int, float, np.ndarray, np.ndarray, int]:
+    """One NMF restart; module-level for the process backend."""
+    V, n_components, max_iter, tol, seed = task
+    model = NMF(n_components, max_iter=max_iter, tol=tol, seed=seed)
+    W = model.fit_transform(V)
+    assert model.components_ is not None
+    assert model.reconstruction_err_ is not None and model.n_iter_ is not None
+    return seed, model.reconstruction_err_, W, model.components_, model.n_iter_
+
+
+@dataclass
+class MultiRestartResult:
+    """Best-of-N NMF factorization plus the per-restart error trace."""
+
+    model: NMF
+    W: np.ndarray
+    best_seed: int
+    errors: dict[int, float] = field(default_factory=dict)
+
+
+def nmf_multi_restart(
+    V: np.ndarray,
+    n_components: int,
+    *,
+    restarts: int = 4,
+    base_seed: int = 0,
+    max_iter: int = 200,
+    tol: float = 1e-4,
+    pool: WorkPool | None = None,
+) -> MultiRestartResult:
+    """Run ``restarts`` independent NMF fits, keep the best reconstruction.
+
+    NMF's multiplicative updates only find a local optimum, so topic
+    pipelines conventionally restart from several seeds.  Restarts are
+    independent (``base_seed + i`` each), which makes this fan-out safe for
+    any :class:`~repro.parallel.WorkPool` worker count; the winner is
+    selected by ``(reconstruction error, seed)`` — a total order that does
+    not depend on completion order.
+    """
+    if restarts < 1:
+        raise ValueError("restarts must be >= 1")
+    V = np.asarray(V, dtype=np.float64)
+    tasks = [
+        (V, n_components, max_iter, tol, base_seed + i) for i in range(restarts)
+    ]
+    pool = pool if pool is not None else WorkPool(1)
+    results = pool.map(_restart_task, tasks)
+    best = min(results, key=lambda r: (r[1], r[0]))
+    seed, err, W, H, n_iter = best
+    model = NMF(n_components, max_iter=max_iter, tol=tol, seed=seed)
+    model.components_ = H
+    model.reconstruction_err_ = err
+    model.n_iter_ = n_iter
+    return MultiRestartResult(
+        model=model,
+        W=W,
+        best_seed=seed,
+        errors={r[0]: r[1] for r in results},
+    )

@@ -13,6 +13,56 @@ import numpy as np
 
 from repro.errors import NotFittedError
 from repro.ml.preprocessing import LabelEncoder
+from repro.parallel import WorkPool
+
+
+def _fit_binary(
+    X: np.ndarray,
+    y: np.ndarray,
+    sample_weight: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    epochs: int,
+    regularization: float,
+) -> tuple[np.ndarray, float]:
+    """Pegasos SGD for one binary one-vs-rest problem."""
+    n_samples, n_features = X.shape
+    w = np.zeros(n_features)
+    b = 0.0
+    lam = regularization
+    # Start the step counter one "virtual epoch" in: eta = 1/(lam*t) is
+    # enormous for small t, and those first few steps otherwise dominate
+    # the final iterate enough to misclassify cleanly separable points.
+    t = n_samples
+    for _ in range(epochs):
+        order = rng.permutation(n_samples)
+        for i in order:
+            t += 1
+            eta = 1.0 / (lam * t)
+            margin = y[i] * (X[i] @ w + b)
+            w *= 1.0 - eta * lam
+            if margin < 1.0:
+                step = eta * sample_weight[i] * y[i]
+                w += step * X[i]
+                b += step
+    return w, b
+
+
+def _train_class_task(
+    task: tuple[np.ndarray, np.ndarray, np.ndarray, int, int, int, float],
+) -> tuple[int, np.ndarray, float]:
+    """One-vs-rest training task for :class:`~repro.parallel.WorkPool`.
+
+    Module-level so the process backend can pickle it; each class draws
+    from its own ``(seed, class_index)`` stream, which is what makes the
+    result independent of scheduling.
+    """
+    X, target, sample_weight, seed, cls, epochs, regularization = task
+    rng = np.random.default_rng((seed, cls))
+    w, b = _fit_binary(
+        X, target, sample_weight, rng, epochs=epochs, regularization=regularization
+    )
+    return cls, w, b
 
 
 class LinearSVM:
@@ -27,6 +77,12 @@ class LinearSVM:
         Full passes over the training data.
     seed:
         Shuffling seed; training is deterministic for a fixed seed.
+        Each one-vs-rest problem shuffles with an independent
+        ``(seed, class_index)`` stream, so per-class training order —
+        serial or parallel — cannot change the fitted weights.
+    n_jobs:
+        Workers for per-class one-vs-rest training.  ``fit`` is bit-for-bit
+        identical for every value of ``n_jobs``.
     """
 
     def __init__(
@@ -36,6 +92,7 @@ class LinearSVM:
         epochs: int = 40,
         seed: int = 0,
         class_weight: str | None = "balanced",
+        n_jobs: int = 1,
     ) -> None:
         if regularization <= 0:
             raise ValueError("regularization must be > 0")
@@ -43,10 +100,13 @@ class LinearSVM:
             raise ValueError("epochs must be >= 1")
         if class_weight not in (None, "balanced"):
             raise ValueError("class_weight must be None or 'balanced'")
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
         self.regularization = regularization
         self.epochs = epochs
         self.seed = seed
         self.class_weight = class_weight
+        self.n_jobs = n_jobs
         self._encoder: LabelEncoder | None = None
         self.weights_: np.ndarray | None = None  # (n_classes, n_features)
         self.bias_: np.ndarray | None = None  # (n_classes,)
@@ -57,8 +117,15 @@ class LinearSVM:
             raise NotFittedError("LinearSVM has not been fitted")
         return self._encoder.classes_
 
-    def fit(self, X: np.ndarray, y: Sequence) -> "LinearSVM":
-        """Train one binary SVM per class."""
+    def fit(
+        self, X: np.ndarray, y: Sequence, *, pool: WorkPool | None = None
+    ) -> "LinearSVM":
+        """Train one binary SVM per class (optionally in parallel).
+
+        Per-class problems are independent — each has its own RNG stream —
+        so training them through a :class:`~repro.parallel.WorkPool` with
+        any worker count produces exactly the serial weights.
+        """
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2:
             raise ValueError(f"X must be 2-D, got shape {X.shape}")
@@ -68,9 +135,7 @@ class LinearSVM:
         n_samples, n_features = X.shape
         if n_samples != len(y_idx):
             raise ValueError("X and y have different lengths")
-        weights = np.zeros((n_classes, n_features))
-        biases = np.zeros(n_classes)
-        rng = np.random.default_rng(self.seed)
+        tasks = []
         for cls in range(n_classes):
             target = np.where(y_idx == cls, 1.0, -1.0)
             if self.class_weight == "balanced":
@@ -90,38 +155,20 @@ class LinearSVM:
                 )
             else:
                 sample_weight = np.ones(n_samples)
-            w, b = self._fit_binary(X, target, sample_weight, rng)
+            tasks.append(
+                (X, target, sample_weight, self.seed, cls,
+                 self.epochs, self.regularization)
+            )
+        pool = pool if pool is not None else WorkPool(self.n_jobs)
+        weights = np.zeros((n_classes, n_features))
+        biases = np.zeros(n_classes)
+        for cls, w, b in pool.map(_train_class_task, tasks):
             weights[cls] = w
             biases[cls] = b
         self._encoder = encoder
         self.weights_ = weights
         self.bias_ = biases
         return self
-
-    def _fit_binary(
-        self,
-        X: np.ndarray,
-        y: np.ndarray,
-        sample_weight: np.ndarray,
-        rng: np.random.Generator,
-    ) -> tuple[np.ndarray, float]:
-        n_samples, n_features = X.shape
-        w = np.zeros(n_features)
-        b = 0.0
-        lam = self.regularization
-        t = 0
-        for _ in range(self.epochs):
-            order = rng.permutation(n_samples)
-            for i in order:
-                t += 1
-                eta = 1.0 / (lam * t)
-                margin = y[i] * (X[i] @ w + b)
-                w *= 1.0 - eta * lam
-                if margin < 1.0:
-                    step = eta * sample_weight[i] * y[i]
-                    w += step * X[i]
-                    b += step
-        return w, b
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Per-class raw scores, shape ``(n_samples, n_classes)``."""

@@ -1,0 +1,197 @@
+"""Content-addressed artifact cache for expensive pipeline stages.
+
+Bug-study pipelines are rerun constantly with varied parameters (Ozkan et
+al.; Catolino et al.) — but most reruns repeat most of the work: the same
+corpus seed, the same vectorizer, the same per-dimension classifier.  The
+cache keys every artifact on the *complete* configuration that produced it
+(corpus seed + vectorizer/model hyperparameters), so
+
+* any hyperparameter or seed change produces a different key (a stale
+  artifact can never be returned for a new configuration), and
+* two runs with identical configurations share work, with no false sharing
+  between namespaces (an SVM artifact can never satisfy a Tree lookup —
+  the namespace is part of the key material).
+
+Artifacts live under ``benchmarks/artifacts/cache/<namespace>/`` as a
+pickle payload plus a JSON metadata sidecar recording the canonicalized
+parameters, so a cache directory is auditable with plain ``cat``.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import pickle
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.errors import ReproError
+
+#: Default cache location, relative to the repository root.
+DEFAULT_CACHE_ROOT = Path("benchmarks") / "artifacts" / "cache"
+
+#: Bump when the payload format changes; part of every key.
+_FORMAT_VERSION = 1
+
+
+class CacheError(ReproError):
+    """A cache key could not be derived from the given parameters."""
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce ``value`` to a deterministic JSON-encodable form.
+
+    Mappings are key-sorted, sequences become lists, enums become
+    ``"ClassName.MEMBER"``, and numpy scalars collapse to Python numbers.
+    Floats keep full ``repr`` precision through ``json.dumps``.  Anything
+    else (arrays, callables, open handles) is rejected: silently hashing
+    an unstable repr would create false cache sharing.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # Normalize -0.0 so it cannot split keys with 0.0.
+        return value + 0.0
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, Mapping):
+        items = {}
+        for key in value:
+            if not isinstance(key, (str, int, bool, enum.Enum)):
+                raise CacheError(f"unhashable cache-key field name: {key!r}")
+            items[str(canonicalize(key))] = canonicalize(value[key])
+        return dict(sorted(items.items()))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [canonicalize(item) for item in value]
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items, key=lambda item: json.dumps(item, sort_keys=True))
+        return items
+    # numpy scalars expose .item(); accept them without importing numpy here.
+    item = getattr(value, "item", None)
+    if callable(item) and getattr(value, "shape", None) == ():
+        return canonicalize(value.item())
+    raise CacheError(
+        f"cannot build a cache key from {type(value).__name__!r} "
+        f"(value {value!r}); reduce it to plain JSON types first"
+    )
+
+
+def cache_key(namespace: str, params: Mapping[str, Any]) -> str:
+    """SHA-256 hex digest identifying ``(namespace, params)``.
+
+    The namespace is part of the hashed material, so equal parameter sets
+    in different namespaces (e.g. ``svm`` vs ``tree``) never collide.
+    """
+    if not namespace or "/" in namespace:
+        raise CacheError(f"invalid cache namespace {namespace!r}")
+    payload = json.dumps(
+        {
+            "format": _FORMAT_VERSION,
+            "namespace": namespace,
+            "params": canonicalize(dict(params)),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ArtifactCache:
+    """Filesystem-backed artifact store keyed by :func:`cache_key`."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_ROOT) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # -- paths -----------------------------------------------------------------
+    def path_for(self, namespace: str, params: Mapping[str, Any]) -> Path:
+        key = cache_key(namespace, params)
+        return self.root / namespace / f"{key}.pkl"
+
+    def _meta_path(self, payload_path: Path) -> Path:
+        return payload_path.with_suffix(".json")
+
+    # -- access ----------------------------------------------------------------
+    def get(self, namespace: str, params: Mapping[str, Any]) -> Any | None:
+        """The cached artifact, or ``None`` on miss (or unreadable entry)."""
+        path = self.path_for(namespace, params)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            # A truncated/stale artifact is a miss, not a crash: the caller
+            # recomputes and overwrites it.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(
+        self,
+        namespace: str,
+        params: Mapping[str, Any],
+        value: Any,
+        *,
+        extra_meta: Mapping[str, Any] | None = None,
+    ) -> Path:
+        """Store ``value`` and its JSON metadata sidecar; returns the path."""
+        path = self.path_for(namespace, params)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".pkl.tmp")
+        with tmp.open("wb") as handle:
+            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)  # atomic publish: readers never see partial writes
+        meta = {
+            "namespace": namespace,
+            "key": path.stem,
+            "format": _FORMAT_VERSION,
+            "params": canonicalize(dict(params)),
+            "payload": path.name,
+            "bytes": path.stat().st_size,
+        }
+        if extra_meta:
+            meta.update(canonicalize(dict(extra_meta)))
+        self._meta_path(path).write_text(json.dumps(meta, indent=2, sort_keys=True))
+        return path
+
+    def get_or_compute(
+        self,
+        namespace: str,
+        params: Mapping[str, Any],
+        compute: Callable[[], Any],
+        *,
+        extra_meta: Mapping[str, Any] | None = None,
+    ) -> tuple[Any, bool]:
+        """``(artifact, hit)`` — computing and storing on miss."""
+        cached = self.get(namespace, params)
+        if cached is not None:
+            return cached, True
+        value = compute()
+        self.put(namespace, params, value, extra_meta=extra_meta)
+        return value, False
+
+    # -- maintenance -----------------------------------------------------------
+    def entries(self, namespace: str | None = None) -> list[Path]:
+        """Payload paths currently stored (optionally one namespace)."""
+        base = self.root if namespace is None else self.root / namespace
+        if not base.exists():
+            return []
+        return sorted(base.rglob("*.pkl"))
+
+    def clear(self, namespace: str | None = None) -> int:
+        """Delete stored artifacts; returns the number removed."""
+        removed = 0
+        for payload in self.entries(namespace):
+            meta = self._meta_path(payload)
+            payload.unlink(missing_ok=True)
+            meta.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stored": len(self.entries())}

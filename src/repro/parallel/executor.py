@@ -1,0 +1,143 @@
+"""Deterministic work-pool executor for the NLP/fault-campaign hot paths.
+
+The contract that makes parallelism safe to sprinkle through the pipeline:
+
+* **Fixed result ordering** — ``map`` always returns results in *input*
+  order, never completion order, so ``jobs=4`` is indistinguishable from
+  ``jobs=1`` for any pure task function.
+* **Pure tasks only** — a task must be a deterministic function of its
+  arguments.  Callers that need randomness derive an independent seeded
+  stream per task (e.g. ``np.random.default_rng((seed, task_index))``)
+  instead of sharing one sequential stream.
+* **Serial fallback** — ``jobs=1`` (or an unavailable backend) degrades to
+  a plain loop with no executor machinery, so the serial path *is* the
+  reference semantics, not a separate code path.
+* **Fail-fast** — the first task exception propagates to the caller
+  (after the pool shuts down); there is no partial-result swallowing here.
+  Per-item fault boundaries live in :mod:`repro.resilience.executor`.
+
+Backends: ``serial`` (plain loop), ``thread`` (for tasks that share
+unpicklable state or mutate per-task objects), ``process`` (for CPU-bound
+numeric work; task functions must be module-level picklables).  ``process``
+prefers the ``fork`` start method where available so numpy state and the
+imported package are inherited rather than re-imported.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+_BACKENDS = ("auto", "serial", "thread", "process")
+
+
+class WorkPool:
+    """Map pure functions over task lists with a fixed-ordering guarantee.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count.  ``1`` means strictly serial execution (no pool is
+        ever created).
+    backend:
+        ``"auto"`` picks ``process`` for ``jobs > 1`` (falling back to
+        serial execution if worker processes cannot be created), or can be
+        pinned to ``"serial"``, ``"thread"`` or ``"process"``.
+    """
+
+    def __init__(self, jobs: int = 1, *, backend: str = "auto") -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        self.jobs = jobs
+        self.backend = backend
+        #: Set after each ``map`` to the backend that actually ran it.
+        self.last_backend: str | None = None
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def effective_backend(self) -> str:
+        """The backend ``map`` will attempt (before any fallback)."""
+        if self.jobs == 1 or self.backend == "serial":
+            return "serial"
+        if self.backend == "auto":
+            return "process"
+        return self.backend
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkPool(jobs={self.jobs}, backend={self.backend!r})"
+
+    # -- execution -------------------------------------------------------------
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
+        """``[fn(t) for t in tasks]``, possibly computed concurrently.
+
+        Results are returned in input order regardless of completion order.
+        The first task exception is re-raised.
+        """
+        items = list(tasks)
+        backend = self.effective_backend
+        if not items or len(items) == 1 or backend == "serial":
+            self.last_backend = "serial"
+            return [fn(item) for item in items]
+        if backend == "thread":
+            return self._map_threads(fn, items)
+        return self._map_processes(fn, items)
+
+    def starmap(
+        self, fn: Callable[..., Any], tasks: Iterable[Sequence[Any]]
+    ) -> list[Any]:
+        """Like :meth:`map` but each task is an argument tuple."""
+        return self.map(_StarTask(fn), [tuple(task) for task in tasks])
+
+    def _map_threads(self, fn: Callable[[Any], Any], items: list[Any]) -> list[Any]:
+        from concurrent.futures import ThreadPoolExecutor
+
+        workers = min(self.jobs, len(items))
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            # Executor.map preserves submission order in its result iterator.
+            results = list(executor.map(fn, items))
+        self.last_backend = "thread"
+        return results
+
+    def _map_processes(self, fn: Callable[[Any], Any], items: list[Any]) -> list[Any]:
+        import pickle
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            # Lambdas and closures cannot cross the process boundary; the
+            # pickler reports that as PicklingError, AttributeError, or
+            # TypeError depending on where lookup fails, so probe upfront
+            # rather than guessing from a mid-map failure.
+            pickle.dumps(fn)
+        except (pickle.PicklingError, AttributeError, TypeError):
+            self.last_backend = "serial-fallback"
+            return [fn(item) for item in items]
+        try:
+            import multiprocessing
+
+            context = None
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            workers = min(self.jobs, len(items))
+            with ProcessPoolExecutor(max_workers=workers, mp_context=context) as ex:
+                results = list(ex.map(fn, items))
+        except (OSError, BrokenProcessPool, ImportError, pickle.PicklingError):
+            # Sandboxes without working process spawning, a worker that died
+            # on us, or a task/result that cannot be shipped back all fall
+            # back to the reference serial semantics — tasks are pure by
+            # contract, so re-running is safe.
+            self.last_backend = "serial-fallback"
+            return [fn(item) for item in items]
+        self.last_backend = "process"
+        return results
+
+
+class _StarTask:
+    """Picklable argument-unpacking wrapper for :meth:`WorkPool.starmap`."""
+
+    def __init__(self, fn: Callable[..., Any]) -> None:
+        self.fn = fn
+
+    def __call__(self, args: Sequence[Any]) -> Any:
+        return self.fn(*args)

@@ -6,6 +6,7 @@ and classical classifiers (SVM / DT / PCA+SVM / AdaBoost), with the paper's
 """
 
 from repro.pipeline.autoclassifier import AutoClassifier, ClassifierKind
+from repro.pipeline.scaling import PipelineResult, StageTiming, run_pipeline
 from repro.pipeline.validation import (
     ValidationReport,
     validate_all_dimensions,
@@ -16,7 +17,10 @@ from repro.pipeline.validation import (
 __all__ = [
     "AutoClassifier",
     "ClassifierKind",
+    "PipelineResult",
+    "StageTiming",
     "ValidationReport",
+    "run_pipeline",
     "validate_all_dimensions",
     "validate_dimensions_resilient",
     "validate_pipeline",

@@ -41,9 +41,9 @@ class ClassifierKind(enum.Enum):
     NAIVE_BAYES = "naive_bayes"
 
 
-def _make_classifier(kind: ClassifierKind, seed: int):
+def _make_classifier(kind: ClassifierKind, seed: int, n_jobs: int = 1):
     if kind is ClassifierKind.SVM:
-        return LinearSVM(regularization=1e-3, epochs=40, seed=seed)
+        return LinearSVM(regularization=1e-3, epochs=40, seed=seed, n_jobs=n_jobs)
     if kind is ClassifierKind.DECISION_TREE:
         return DecisionTreeClassifier(max_depth=12, min_samples_leaf=2)
     if kind is ClassifierKind.ADABOOST:
@@ -76,6 +76,10 @@ class AutoClassifier:
         Word2Vec hyper-parameters for the embedding block.
     seed:
         Controls Word2Vec init/shuffling and SVM shuffling.
+    n_jobs:
+        Workers for the SVM's per-class one-vs-rest training (other
+        classifier kinds train serially).  Results are independent of
+        ``n_jobs`` bit-for-bit.
     """
 
     def __init__(
@@ -87,6 +91,7 @@ class AutoClassifier:
         embedding_dim: int = 48,
         word2vec_epochs: int = 3,
         seed: int = 0,
+        n_jobs: int = 1,
     ) -> None:
         self.kind = kind
         self.use_embeddings = use_embeddings
@@ -94,6 +99,7 @@ class AutoClassifier:
         self.embedding_dim = embedding_dim
         self.word2vec_epochs = word2vec_epochs
         self.seed = seed
+        self.n_jobs = n_jobs
         self.tokenizer = Tokenizer()
         self._tfidf: TfidfVectorizer | None = None
         self._pca: PCA | None = None
@@ -138,7 +144,7 @@ class AutoClassifier:
             raise ValueError("texts and labels have different lengths")
         token_docs = self.tokenizer.tokenize_all(texts)
         features = self._featurize(token_docs, fit=True)
-        self._classifier = _make_classifier(self.kind, self.seed)
+        self._classifier = _make_classifier(self.kind, self.seed, self.n_jobs)
         self._classifier.fit(features, list(labels))
         return self
 

@@ -1,0 +1,187 @@
+"""The NLP scaling pipeline: corpus -> TF-IDF -> NMF -> per-dimension SVM.
+
+This is the paper's §IV hot path (TF-IDF → NMF → SVM/Tree/AdaBoost) run
+end-to-end the way tracker-mining studies actually run it: repeatedly,
+with varied parameters.  Two levers make repeats fast by default:
+
+* a :class:`~repro.parallel.WorkPool` fans out every independent unit
+  (corpus shards, TF-IDF row shards, NMF restarts, per-class SVM
+  problems) under the deterministic-ordering contract, and
+* an :class:`~repro.parallel.ArtifactCache` keyed on corpus seed +
+  vectorizer/model hyperparameters skips stages whose configuration has
+  not changed.
+
+Worker count and cache state are *performance* knobs only: every stage is
+bit-for-bit identical for jobs=1, jobs=N, and warm-cache runs (enforced
+by ``tests/test_parallel_equivalence.py``).  Worker counts therefore never
+appear in cache keys.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.parallel import ArtifactCache, WorkPool
+from repro.pipeline.autoclassifier import ClassifierKind
+from repro.pipeline.validation import ValidationReport, validate_pipeline
+
+#: Hyperparameters of the pipeline's TF-IDF stage, part of its cache key.
+_TFIDF_PARAMS = {"min_count": 2, "sublinear_tf": False, "normalize": True}
+#: SVM hyperparameters baked into AutoClassifier, part of validation keys.
+_SVM_PARAMS = {"regularization": 1e-3, "epochs": 40, "class_weight": "balanced"}
+
+
+@dataclass
+class StageTiming:
+    """Wall-clock and cache outcome for one pipeline stage."""
+
+    stage: str
+    seconds: float
+    cache_hit: bool = False
+
+
+@dataclass
+class PipelineResult:
+    """Everything one pipeline run produced, plus how long each stage took."""
+
+    seed: int
+    jobs: int
+    stages: list[StageTiming] = field(default_factory=list)
+    reports: dict[str, ValidationReport] = field(default_factory=dict)
+    topics: list[list[str]] = field(default_factory=list)
+    topic_errors: dict[int, float] = field(default_factory=dict)
+    n_documents: int = 0
+    n_features: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stage.seconds for stage in self.stages)
+
+    def accuracies(self) -> dict[str, float]:
+        """Per-dimension accuracy — the equivalence-test comparison unit."""
+        return {dim: report.accuracy for dim, report in self.reports.items()}
+
+    def stage(self, name: str) -> StageTiming:
+        for timing in self.stages:
+            if timing.stage == name:
+                return timing
+        raise KeyError(name)
+
+
+class _Timer:
+    def __init__(self, result: PipelineResult, stage: str) -> None:
+        self.result = result
+        self.stage = stage
+        self.cache_hit = False
+
+    def __enter__(self) -> "_Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.result.stages.append(
+            StageTiming(
+                stage=self.stage,
+                seconds=time.perf_counter() - self.start,
+                cache_hit=self.cache_hit,
+            )
+        )
+
+
+def run_pipeline(
+    *,
+    seed: int = 2020,
+    jobs: int = 1,
+    cache: ArtifactCache | None = None,
+    dimensions: Sequence[str] = ("bug_type", "symptom", "fix"),
+    kind: ClassifierKind = ClassifierKind.SVM,
+    n_topics: int = 8,
+    nmf_restarts: int = 4,
+    split_seed: int = 0,
+) -> PipelineResult:
+    """Run the full NLP scaling pipeline once.
+
+    ``jobs`` sets the :class:`WorkPool` width for every stage; ``cache``
+    (optional) skips stages whose full configuration is already stored.
+    """
+    from repro.corpus import CorpusGenerator
+    from repro.ml.nmf import nmf_multi_restart
+    from repro.textmining import TfidfVectorizer, Tokenizer
+
+    pool = WorkPool(jobs)
+    result = PipelineResult(seed=seed, jobs=jobs)
+
+    corpus_params = {"seed": seed, "stage": "study-corpus"}
+    with _Timer(result, "corpus") as timer:
+        if cache is not None:
+            corpus, timer.cache_hit = cache.get_or_compute(
+                "corpus", corpus_params, CorpusGenerator(seed=seed).generate
+            )
+        else:
+            corpus = CorpusGenerator(seed=seed).generate()
+
+    sample = corpus.manual_sample
+    texts = sample.texts()
+
+    tfidf_params = {"seed": seed, **_TFIDF_PARAMS}
+    with _Timer(result, "tfidf") as timer:
+        def _build_tfidf():
+            token_docs = Tokenizer().tokenize_all(texts)
+            vectorizer = TfidfVectorizer(min_count=_TFIDF_PARAMS["min_count"])
+            matrix = vectorizer.fit_transform(token_docs, pool=pool)
+            return matrix, vectorizer.feature_names
+
+        if cache is not None:
+            (matrix, feature_names), timer.cache_hit = cache.get_or_compute(
+                "tfidf", tfidf_params, _build_tfidf
+            )
+        else:
+            matrix, feature_names = _build_tfidf()
+    result.n_documents, result.n_features = matrix.shape
+
+    nmf_params = {
+        "seed": seed,
+        "n_topics": n_topics,
+        "restarts": nmf_restarts,
+        "tfidf": _TFIDF_PARAMS,
+    }
+    with _Timer(result, "nmf") as timer:
+        def _build_topics():
+            restart = nmf_multi_restart(
+                matrix, n_topics, restarts=nmf_restarts, pool=pool
+            )
+            return restart.model.top_terms(feature_names, 8), restart.errors
+
+        if cache is not None:
+            (topics, errors), timer.cache_hit = cache.get_or_compute(
+                "nmf", nmf_params, _build_topics
+            )
+        else:
+            topics, errors = _build_topics()
+    result.topics = topics
+    result.topic_errors = errors
+
+    for dimension in dimensions:
+        params = {
+            "seed": seed,
+            "split_seed": split_seed,
+            "dimension": dimension,
+            "classifier": kind,
+            "svm": _SVM_PARAMS if kind is ClassifierKind.SVM else None,
+        }
+        with _Timer(result, f"validate:{dimension}") as timer:
+            def _validate(dimension: str = dimension):
+                return validate_pipeline(
+                    sample, dimension, kind=kind, seed=split_seed, n_jobs=jobs
+                )
+
+            if cache is not None:
+                report, timer.cache_hit = cache.get_or_compute(
+                    f"validation-{kind.value}", params, _validate
+                )
+            else:
+                report = _validate()
+        result.reports[dimension] = report
+    return result

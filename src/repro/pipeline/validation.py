@@ -48,6 +48,7 @@ def validate_pipeline(
     train_fraction: float = 2.0 / 3.0,
     seed: int = 0,
     classifier_factory=None,
+    n_jobs: int = 1,
 ) -> ValidationReport:
     """Train on 2/3 of ``dataset``, test on 1/3, report accuracy.
 
@@ -66,7 +67,7 @@ def validate_pipeline(
     if classifier_factory is not None:
         model = classifier_factory()
     else:
-        model = AutoClassifier(kind=kind, seed=seed)
+        model = AutoClassifier(kind=kind, seed=seed, n_jobs=n_jobs)
     model.fit(train_texts, y_train)
     predictions = model.predict(test_texts)
 

@@ -216,6 +216,14 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "benchmarks/bench_adversary.py",
         ("repro.adversary", "repro.faultinjection", "repro.frameworks"),
     ),
+    Experiment(
+        "parallel-pipeline",
+        "SS II-C scaling (extension)",
+        "parallel + cached NLP pipeline: jobs=4 SVM fan-out and warm-cache "
+        "replay, bit-for-bit equal to the serial run",
+        "benchmarks/bench_parallel_pipeline.py",
+        ("repro.parallel", "repro.pipeline", "repro.ml"),
+    ),
 )
 
 

@@ -16,6 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import NotFittedError
+from repro.parallel import WorkPool
 from repro.textmining.vocabulary import Vocabulary
 
 
@@ -55,10 +56,38 @@ class TfidfVectorizer:
         self.vocabulary_ = vocab
         return self
 
-    def transform(self, documents: Sequence[Sequence[str]]) -> np.ndarray:
-        """Return the ``(n_docs, n_terms)`` TF-IDF matrix."""
+    def transform(
+        self,
+        documents: Sequence[Sequence[str]],
+        *,
+        pool: WorkPool | None = None,
+    ) -> np.ndarray:
+        """Return the ``(n_docs, n_terms)`` TF-IDF matrix.
+
+        Rows are independent, so with a :class:`~repro.parallel.WorkPool`
+        the documents are split into contiguous shards, transformed
+        concurrently, and re-stacked in shard order — bit-for-bit the
+        serial matrix for any worker count.  Weighting (sublinear TF, IDF,
+        L2 norm) is strictly per-row, so it composes with sharding.
+        """
         if self.vocabulary_ is None or self.idf_ is None:
             raise NotFittedError("TfidfVectorizer.transform called before fit")
+        documents = list(documents)
+        if not documents:
+            return np.zeros((0, len(self.vocabulary_)), dtype=np.float64)
+        if pool is None or pool.jobs == 1 or len(documents) < 2:
+            return self._transform_rows(documents)
+        bounds = np.linspace(0, len(documents), pool.jobs + 1).astype(int)
+        shards = [
+            documents[start:stop]
+            for start, stop in zip(bounds[:-1], bounds[1:])
+            if start < stop
+        ]
+        return np.vstack(pool.map(self._transform_rows, shards))
+
+    def _transform_rows(self, documents: Sequence[Sequence[str]]) -> np.ndarray:
+        """Serial transform of one document shard."""
+        assert self.vocabulary_ is not None and self.idf_ is not None
         vocab = self.vocabulary_
         matrix = np.zeros((len(documents), len(vocab)), dtype=np.float64)
         for row, doc in enumerate(documents):
@@ -76,9 +105,14 @@ class TfidfVectorizer:
             matrix /= norms
         return matrix
 
-    def fit_transform(self, documents: Sequence[Sequence[str]]) -> np.ndarray:
+    def fit_transform(
+        self,
+        documents: Sequence[Sequence[str]],
+        *,
+        pool: WorkPool | None = None,
+    ) -> np.ndarray:
         """Equivalent to ``fit(documents).transform(documents)``."""
-        return self.fit(documents).transform(documents)
+        return self.fit(documents).transform(documents, pool=pool)
 
     @property
     def feature_names(self) -> list[str]:

@@ -14,10 +14,13 @@ from repro.corpus import (
     ResolutionTimeModel,
     default_profiles,
     load_dataset_jsonl,
+    load_dataset_shards,
     save_dataset_jsonl,
+    save_dataset_shards,
 )
 from repro.corpus.generator import STUDY_END, STUDY_START
 from repro.errors import CorpusError
+from repro.parallel import WorkPool
 from repro.taxonomy import (
     BugType,
     RootCause,
@@ -292,3 +295,103 @@ class TestJsonlIO:
         save_dataset_jsonl(subset, path)
         path.write_text(path.read_text() + "\n\n")
         assert len(load_dataset_jsonl(path)) == 3
+
+    def test_truncated_final_line_reports_position(self, dataset, tmp_path):
+        # An interrupted writer leaves a half-serialized last record; that
+        # must surface as a CorpusError naming the line, not a JSONDecodeError.
+        subset = dataset.sample(3, seed=5)
+        path = tmp_path / "bugs.jsonl"
+        save_dataset_jsonl(subset, path)
+        text = path.read_text()
+        path.write_text(text[: len(text) - len(text.splitlines()[-1]) // 2 - 1])
+        with pytest.raises(CorpusError, match="bugs.jsonl:3"):
+            load_dataset_jsonl(path)
+
+    def test_bom_prefixed_file_loads(self, dataset, tmp_path):
+        subset = dataset.sample(4, seed=6)
+        path = tmp_path / "bugs.jsonl"
+        save_dataset_jsonl(subset, path)
+        path.write_bytes(b"\xef\xbb\xbf" + path.read_bytes())
+        loaded = load_dataset_jsonl(path)
+        assert [b.bug_id for b in loaded] == [b.bug_id for b in subset]
+
+    def test_bom_plus_malformed_line_still_reports_position(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_bytes(b"\xef\xbb\xbf" + b'{"report": {}}\n')
+        with pytest.raises(CorpusError, match="bad.jsonl:1"):
+            load_dataset_jsonl(path)
+
+
+class TestShardedIO:
+    """Sharded round-trips: boundaries, empty shards, manifest validation."""
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 7])
+    def test_roundtrip_preserves_order(self, dataset, tmp_path, n_shards):
+        subset = dataset.sample(21, seed=7)
+        paths = save_dataset_shards(subset, tmp_path, n_shards=n_shards)
+        assert len(paths) == n_shards
+        loaded = load_dataset_shards(tmp_path)
+        assert [b.bug_id for b in loaded] == [b.bug_id for b in subset]
+
+    def test_shard_boundaries_are_contiguous(self, dataset, tmp_path):
+        # 10 records over 3 shards -> sizes 4, 3, 3; concatenation must
+        # reproduce the original order with no straddled records.
+        subset = dataset.sample(10, seed=8)
+        paths = save_dataset_shards(subset, tmp_path, n_shards=3)
+        sizes = [len(load_dataset_jsonl(p)) for p in paths]
+        assert sizes == [4, 3, 3]
+        ids = [b.bug_id for p in paths for b in load_dataset_jsonl(p)]
+        assert ids == [b.bug_id for b in subset]
+
+    def test_empty_shards_when_more_shards_than_records(self, dataset, tmp_path):
+        subset = dataset.sample(2, seed=9)
+        paths = save_dataset_shards(subset, tmp_path, n_shards=5)
+        assert [len(load_dataset_jsonl(p)) for p in paths] == [1, 1, 0, 0, 0]
+        assert len(load_dataset_shards(tmp_path)) == 2
+
+    def test_single_record_single_shard(self, dataset, tmp_path):
+        subset = dataset.sample(1, seed=10)
+        save_dataset_shards(subset, tmp_path, n_shards=1)
+        loaded = load_dataset_shards(tmp_path)
+        assert [b.bug_id for b in loaded] == [b.bug_id for b in subset]
+
+    def test_empty_dataset_roundtrip(self, tmp_path):
+        save_dataset_shards(BugDataset([]), tmp_path, n_shards=2)
+        assert len(load_dataset_shards(tmp_path)) == 0
+
+    def test_parallel_load_matches_serial(self, dataset, tmp_path):
+        subset = dataset.sample(12, seed=11)
+        save_dataset_shards(subset, tmp_path, n_shards=4)
+        serial = load_dataset_shards(tmp_path)
+        parallel = load_dataset_shards(tmp_path, pool=WorkPool(4))
+        assert [b.bug_id for b in serial] == [b.bug_id for b in parallel]
+
+    def test_zero_shards_rejected(self, dataset, tmp_path):
+        with pytest.raises(CorpusError, match="n_shards"):
+            save_dataset_shards(dataset, tmp_path, n_shards=0)
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(CorpusError, match="missing shard manifest"):
+            load_dataset_shards(tmp_path)
+
+    def test_missing_shard_file(self, dataset, tmp_path):
+        subset = dataset.sample(6, seed=12)
+        paths = save_dataset_shards(subset, tmp_path, n_shards=3)
+        paths[1].unlink()
+        with pytest.raises(CorpusError, match="missing shard"):
+            load_dataset_shards(tmp_path)
+
+    def test_count_mismatch_detected(self, dataset, tmp_path):
+        subset = dataset.sample(6, seed=13)
+        paths = save_dataset_shards(subset, tmp_path, n_shards=2)
+        lines = paths[0].read_text().splitlines()
+        paths[0].write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(CorpusError, match="manifest says"):
+            load_dataset_shards(tmp_path)
+
+    def test_malformed_manifest(self, dataset, tmp_path):
+        subset = dataset.sample(3, seed=14)
+        save_dataset_shards(subset, tmp_path, n_shards=1)
+        (tmp_path / "manifest.json").write_text('{"n_shards": 1}')
+        with pytest.raises(CorpusError, match="malformed manifest"):
+            load_dataset_shards(tmp_path)

@@ -1,0 +1,234 @@
+"""WorkPool executor contract and ArtifactCache key/storage semantics."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import ArtifactCache, CacheError, WorkPool, cache_key, canonicalize
+from repro.pipeline.autoclassifier import ClassifierKind
+
+
+def _square(x):
+    return x * x
+
+
+def _stagger(item):
+    # Later items finish first; ordering must still follow input order.
+    index, delay = item
+    time.sleep(delay)
+    return index
+
+
+class TestWorkPool:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            WorkPool(0)
+        with pytest.raises(ValueError):
+            WorkPool(2, backend="gpu")
+
+    def test_serial_when_jobs_one(self):
+        pool = WorkPool(1)
+        assert pool.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert pool.last_backend == "serial"
+
+    def test_empty_input(self):
+        assert WorkPool(4).map(_square, []) == []
+
+    def test_thread_backend_preserves_input_order(self):
+        pool = WorkPool(4, backend="thread")
+        items = [(0, 0.05), (1, 0.03), (2, 0.01), (3, 0.0)]
+        assert pool.map(_stagger, items) == [0, 1, 2, 3]
+        assert pool.last_backend == "thread"
+
+    def test_process_backend_matches_serial(self):
+        serial = WorkPool(1).map(_square, list(range(8)))
+        parallel = WorkPool(4, backend="process").map(_square, list(range(8)))
+        assert serial == parallel
+
+    def test_process_backend_falls_back_on_unpicklable_task(self):
+        # A lambda cannot cross a process boundary; tasks are pure by
+        # contract, so the pool must degrade to the serial reference loop
+        # instead of surfacing a PicklingError.
+        offset = 10
+        pool = WorkPool(3, backend="process")
+        assert pool.map(lambda x: x + offset, [1, 2, 3]) == [11, 12, 13]
+        assert pool.last_backend == "serial-fallback"
+
+    def test_thread_backend_runs_closures(self):
+        offset = 10
+        pool = WorkPool(3, backend="thread")
+        assert pool.map(lambda x: x + offset, [1, 2]) == [11, 12]
+
+    def test_exception_propagates(self):
+        def boom(x):
+            raise RuntimeError(f"task {x}")
+
+        with pytest.raises(RuntimeError, match="task"):
+            WorkPool(2, backend="thread").map(boom, [1, 2, 3])
+
+    def test_starmap(self):
+        pool = WorkPool(2, backend="thread")
+        assert pool.starmap(pow, [(2, 3), (3, 2)]) == [8, 9]
+
+    def test_single_item_skips_pool(self):
+        pool = WorkPool(4, backend="process")
+        assert pool.map(_square, [5]) == [25]
+        assert pool.last_backend == "serial"
+
+
+class TestCanonicalize:
+    def test_enum_and_numpy_scalars(self):
+        assert canonicalize(ClassifierKind.SVM) == "ClassifierKind.SVM"
+        assert canonicalize(np.float64(0.5)) == 0.5
+        assert canonicalize(np.int64(3)) == 3
+
+    def test_mapping_key_order_irrelevant(self):
+        assert canonicalize({"a": 1, "b": 2}) == canonicalize({"b": 2, "a": 1})
+
+    def test_sets_are_order_free(self):
+        assert canonicalize({"x", "y"}) == canonicalize({"y", "x"})
+
+    def test_negative_zero_merges_with_zero(self):
+        assert cache_key("ns", {"x": -0.0}) == cache_key("ns", {"x": 0.0})
+
+    def test_rejects_arrays(self):
+        with pytest.raises(CacheError):
+            canonicalize(np.zeros(3))
+
+    def test_rejects_callables(self):
+        with pytest.raises(CacheError):
+            canonicalize({"fn": _square})
+
+
+class TestCacheKey:
+    def test_namespace_separates_svm_from_tree(self):
+        # The false-sharing hazard: identical hyperparameters must never
+        # let a Tree artifact satisfy an SVM lookup or vice versa.
+        params = {"seed": 2020, "max_depth": 12}
+        assert cache_key("svm", params) != cache_key("tree", params)
+
+    def test_invalid_namespace(self):
+        with pytest.raises(CacheError):
+            cache_key("", {})
+        with pytest.raises(CacheError):
+            cache_key("a/b", {})
+
+    def test_nested_params_stable(self):
+        a = cache_key("ns", {"svm": {"epochs": 40, "reg": 1e-3}, "seed": 0})
+        b = cache_key("ns", {"seed": 0, "svm": {"reg": 1e-3, "epochs": 40}})
+        assert a == b
+
+
+_PARAM_VALUES = st.one_of(
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+    st.booleans(),
+    st.sampled_from(list(ClassifierKind)),
+)
+_PARAMS = st.dictionaries(
+    st.text(min_size=1, max_size=8), _PARAM_VALUES, min_size=1, max_size=6
+)
+
+
+class TestCacheKeyProperties:
+    @given(params=_PARAMS)
+    @settings(max_examples=60, deadline=None)
+    def test_identical_configs_hit_the_same_key(self, params):
+        items = list(params.items())
+        shuffled = dict(reversed(items))
+        assert cache_key("ns", params) == cache_key("ns", shuffled)
+
+    @given(params=_PARAMS, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_any_value_change_changes_the_key(self, params, data):
+        field = data.draw(st.sampled_from(sorted(params)))
+        new_value = data.draw(_PARAM_VALUES)
+        if canonicalize(new_value) == canonicalize(params[field]):
+            return  # not actually a change
+        mutated = dict(params)
+        mutated[field] = new_value
+        assert cache_key("ns", params) != cache_key("ns", mutated)
+
+    @given(params=_PARAMS, extra=st.text(min_size=1, max_size=8), value=_PARAM_VALUES)
+    @settings(max_examples=60, deadline=None)
+    def test_adding_a_field_changes_the_key(self, params, extra, value):
+        if extra in params:
+            return
+        widened = dict(params)
+        widened[extra] = value
+        assert cache_key("ns", params) != cache_key("ns", widened)
+
+    @given(seed=st.integers(min_value=0, max_value=2**30))
+    @settings(max_examples=30, deadline=None)
+    def test_seed_always_part_of_key(self, seed):
+        base = {"seed": 0, "epochs": 40}
+        probe = {"seed": seed, "epochs": 40}
+        assert (cache_key("svm", base) == cache_key("svm", probe)) == (seed == 0)
+
+
+class TestArtifactCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        params = {"seed": 1}
+        assert cache.get("svm", params) is None
+        cache.put("svm", params, {"acc": 0.96})
+        assert cache.get("svm", params) == {"acc": 0.96}
+        assert cache.stats() == {"hits": 1, "misses": 1, "stored": 1}
+
+    def test_numpy_payload_roundtrip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        value = {"W": np.arange(6.0).reshape(2, 3)}
+        cache.put("nmf", {"seed": 2}, value)
+        loaded = cache.get("nmf", {"seed": 2})
+        assert np.array_equal(loaded["W"], value["W"])
+
+    def test_param_change_misses(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("svm", {"seed": 1, "epochs": 40}, "a")
+        assert cache.get("svm", {"seed": 2, "epochs": 40}) is None
+        assert cache.get("svm", {"seed": 1, "epochs": 41}) is None
+
+    def test_get_or_compute(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        value, hit = cache.get_or_compute("ns", {"k": 1}, compute)
+        assert (value, hit) == (42, False)
+        value, hit = cache.get_or_compute("ns", {"k": 1}, compute)
+        assert (value, hit) == (42, True)
+        assert len(calls) == 1
+
+    def test_metadata_sidecar_written(self, tmp_path):
+        import json
+
+        cache = ArtifactCache(tmp_path)
+        path = cache.put("svm", {"seed": 1}, "artifact")
+        meta = json.loads(path.with_suffix(".json").read_text())
+        assert meta["namespace"] == "svm"
+        assert meta["params"] == {"seed": 1}
+        assert meta["payload"] == path.name
+
+    def test_corrupted_entry_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        path = cache.put("svm", {"seed": 1}, "artifact")
+        path.write_bytes(b"not a pickle")
+        assert cache.get("svm", {"seed": 1}) is None
+
+    def test_clear_by_namespace(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("svm", {"seed": 1}, "a")
+        cache.put("tree", {"seed": 1}, "b")
+        assert cache.clear("svm") == 1
+        assert cache.get("svm", {"seed": 1}) is None
+        assert cache.get("tree", {"seed": 1}) == "b"
+        assert cache.clear() == 1

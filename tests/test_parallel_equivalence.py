@@ -1,0 +1,213 @@
+"""Serial-equivalence harness: jobs=1 vs jobs=4 vs cache-warm, bit for bit.
+
+The executor contract (DESIGN §"Parallel execution") promises that worker
+count and cache state are performance knobs only.  Every test here runs the
+same computation three ways and asserts *exact* equality — np.array_equal,
+``==`` on floats, identical ledger record sequences — not approximate
+closeness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus import CorpusGenerator
+from repro.faultinjection import FaultCampaign
+from repro.faultinjection.faults import default_catalog
+from repro.ml import LinearSVM, cross_val_score, nmf_multi_restart
+from repro.parallel import ArtifactCache, WorkPool
+from repro.pipeline import run_pipeline
+from repro.textmining import TfidfVectorizer, Tokenizer
+
+SEEDS = [0, 1, 2]
+
+
+def _blobs(seed: int, n_per_class: int = 30, n_features: int = 6):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=4.0, size=(3, n_features))
+    X = np.vstack(
+        [center + rng.normal(size=(n_per_class, n_features)) for center in centers]
+    )
+    y = [cls for cls in ("crash", "churn", "leak") for _ in range(n_per_class)]
+    return X, y
+
+
+class TestSvmEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_jobs4_matches_serial_bit_for_bit(self, seed):
+        X, y = _blobs(seed)
+        serial = LinearSVM(seed=seed, n_jobs=1).fit(X, y)
+        parallel = LinearSVM(seed=seed, n_jobs=4).fit(X, y)
+        assert np.array_equal(serial.weights_, parallel.weights_)
+        assert np.array_equal(serial.bias_, parallel.bias_)
+        assert serial.predict(X) == parallel.predict(X)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cache_warm_matches_serial(self, seed, tmp_path):
+        X, y = _blobs(seed)
+        cache = ArtifactCache(tmp_path)
+        params = {"seed": seed, "epochs": 40, "regularization": 1e-3}
+
+        def _train():
+            model = LinearSVM(seed=seed).fit(X, y)
+            return model.weights_, model.bias_
+
+        (w_cold, b_cold), hit = cache.get_or_compute("svm", params, _train)
+        assert not hit
+        (w_warm, b_warm), hit = cache.get_or_compute("svm", params, _train)
+        assert hit
+        reference = LinearSVM(seed=seed).fit(X, y)
+        assert np.array_equal(w_cold, w_warm)
+        assert np.array_equal(w_warm, reference.weights_)
+        assert np.array_equal(b_warm, reference.bias_)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cross_val_scores_identical(self, seed):
+        X, y = _blobs(seed)
+        factory = lambda: LinearSVM(seed=seed, epochs=10)  # noqa: E731
+        serial = cross_val_score(factory, X, y, seed=seed)
+        parallel = cross_val_score(factory, X, y, seed=seed, pool=WorkPool(4))
+        assert serial == parallel
+
+
+class TestNmfEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_restart_fan_out_matches_serial(self, seed):
+        rng = np.random.default_rng(seed)
+        V = np.abs(rng.normal(size=(40, 12)))
+        serial = nmf_multi_restart(V, 4, restarts=4, base_seed=seed, max_iter=60)
+        parallel = nmf_multi_restart(
+            V, 4, restarts=4, base_seed=seed, max_iter=60, pool=WorkPool(4)
+        )
+        assert serial.best_seed == parallel.best_seed
+        assert serial.errors == parallel.errors
+        assert np.array_equal(serial.W, parallel.W)
+        assert np.array_equal(serial.model.components_, parallel.model.components_)
+
+
+class TestTfidfEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sharded_transform_matches_serial(self, seed):
+        corpus = CorpusGenerator(seed=seed).generate()
+        docs = Tokenizer().tokenize_all(corpus.manual_sample.texts()[:60])
+        vectorizer = TfidfVectorizer(min_count=2)
+        serial = vectorizer.fit_transform(docs)
+        sharded = vectorizer.transform(docs, pool=WorkPool(4))
+        assert np.array_equal(serial, sharded)
+
+
+class TestCorpusEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_shard_count_is_invisible(self, seed):
+        generator = CorpusGenerator(seed=seed)
+        one = generator.generate_extended_parallel(scale=0.5, n_shards=1)
+        four = generator.generate_extended_parallel(
+            scale=0.5, n_shards=4, pool=WorkPool(4)
+        )
+        assert [b.report.bug_id for b in one] == [b.report.bug_id for b in four]
+        assert [b.report.text for b in one] == [b.report.text for b in four]
+
+
+def _ledger_rows(ledger):
+    return [record.to_dict() for record in ledger.records]
+
+
+def _canonical_ledger_rows(ledger):
+    return sorted(
+        _ledger_rows(ledger), key=lambda row: sorted((k, repr(v)) for k, v in row.items())
+    )
+
+
+class TestCampaignEquivalence:
+    """Satellite: A/B campaigns must be jobs-invariant, ledgers included."""
+
+    CATALOG = default_catalog()[:4]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_run_matches_serial(self, seed):
+        serial = FaultCampaign(
+            self.CATALOG, seeds_per_fault=2, base_seed=seed, jobs=1
+        ).run()
+        parallel = FaultCampaign(
+            self.CATALOG, seeds_per_fault=2, base_seed=seed, jobs=4
+        ).run()
+        for a, b in zip(serial.results, parallel.results):
+            assert a.spec.fault_id == b.spec.fault_id
+            assert a.outcomes == b.outcomes
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_run_ab_reports_and_ledgers_identical(self, seed):
+        serial = FaultCampaign(
+            self.CATALOG, seeds_per_fault=2, base_seed=seed, jobs=1
+        ).run_ab()
+        parallel = FaultCampaign(
+            self.CATALOG, seeds_per_fault=2, base_seed=seed, jobs=4
+        ).run_ab()
+        assert serial.baseline_symptom_rate == parallel.baseline_symptom_rate
+        assert serial.hardened_symptom_rate == parallel.hardened_symptom_rate
+        assert serial.mean_recovery_latency == parallel.mean_recovery_latency
+        for a, b in zip(serial.results, parallel.results):
+            assert a.spec.fault_id == b.spec.fault_id
+            assert a.baseline == b.baseline
+            assert [run.outcome for run in a.hardened] == [
+                run.outcome for run in b.hardened
+            ]
+        # The merged ledger reproduces the serial record sequence exactly…
+        assert _ledger_rows(serial.ledger) == _ledger_rows(parallel.ledger)
+        # …so the order-insensitive comparison is implied, but assert it
+        # anyway: it is the contract a future out-of-order merge must keep.
+        assert _canonical_ledger_rows(serial.ledger) == _canonical_ledger_rows(
+            parallel.ledger
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_run_adversarial_ab_identical(self, seed):
+        kwargs = dict(events=10, horizon=30.0)
+        serial = FaultCampaign(
+            seeds_per_fault=2, base_seed=seed, jobs=1
+        ).run_adversarial_ab(**kwargs)
+        parallel = FaultCampaign(
+            seeds_per_fault=2, base_seed=seed, jobs=4
+        ).run_adversarial_ab(**kwargs)
+        assert serial.per_invariant() == parallel.per_invariant()
+        assert serial.bare_violation_count == parallel.bare_violation_count
+        assert serial.hardened_violation_count == parallel.hardened_violation_count
+        assert _ledger_rows(serial.bare_ledger) == _ledger_rows(parallel.bare_ledger)
+        assert _canonical_ledger_rows(serial.hardened_ledger) == _canonical_ledger_rows(
+            parallel.hardened_ledger
+        )
+
+
+class TestPipelineEquivalence:
+    """End-to-end: the full pipeline across jobs=1 / jobs=4 / cache-warm."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_three_way_equivalence(self, seed, tmp_path):
+        common = dict(
+            seed=seed, dimensions=("bug_type",), n_topics=4, nmf_restarts=2
+        )
+        serial = run_pipeline(jobs=1, **common)
+        parallel = run_pipeline(jobs=4, **common)
+
+        cache = ArtifactCache(tmp_path)
+        cold = run_pipeline(jobs=4, cache=cache, **common)
+        warm = run_pipeline(jobs=4, cache=cache, **common)
+
+        runs = [parallel, cold, warm]
+        for run in runs:
+            assert run.accuracies() == serial.accuracies()
+            assert run.topics == serial.topics
+            assert run.topic_errors == serial.topic_errors
+            assert (run.n_documents, run.n_features) == (
+                serial.n_documents,
+                serial.n_features,
+            )
+        for dim, report in serial.reports.items():
+            for run in runs:
+                other = run.reports[dim]
+                assert other.accuracy == report.accuracy
+                assert other.confusion == report.confusion
+
+        assert not any(stage.cache_hit for stage in cold.stages)
+        assert all(stage.cache_hit for stage in warm.stages)

@@ -214,6 +214,36 @@ class TestTfidf:
         row = vectorizer.transform([[]])
         assert np.allclose(row, 0.0)
 
+    def test_empty_document_list_transforms_to_empty_matrix(self):
+        vectorizer = TfidfVectorizer().fit(self.DOCS)
+        matrix = vectorizer.transform([])
+        assert matrix.shape == (0, 3)
+
+    def test_all_stopword_input_yields_zero_rows(self):
+        # The tokenizer drops stopwords, so an all-stopword report reaches
+        # the vectorizer as empty token lists: every row must be all-zero,
+        # and normalization must not divide by the zero norm.
+        tokenizer = Tokenizer()
+        docs = [
+            tokenizer.tokenize("the and of was"),
+            tokenizer.tokenize("is are been being"),
+        ]
+        assert docs == [[], []]
+        vectorizer = TfidfVectorizer().fit(self.DOCS)
+        matrix = vectorizer.transform(docs)
+        assert matrix.shape == (2, 3)
+        assert np.all(matrix == 0.0)
+        assert np.isfinite(matrix).all()
+
+    def test_pool_sharded_transform_matches_serial(self):
+        from repro.parallel import WorkPool
+
+        docs = [["flow", "crash"], ["table"], ["flow"], [], ["crash", "table"]]
+        vectorizer = TfidfVectorizer().fit(self.DOCS)
+        serial = vectorizer.transform(docs)
+        sharded = vectorizer.transform(docs, pool=WorkPool(3, backend="thread"))
+        assert np.array_equal(serial, sharded)
+
     def test_sublinear_tf_dampens(self):
         plain = TfidfVectorizer(normalize=False).fit_transform([["a", "a", "a", "b"]])
         sub = TfidfVectorizer(normalize=False, sublinear_tf=True).fit_transform(
