@@ -84,7 +84,9 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     from repro.parallel import ArtifactCache
     from repro.pipeline.scaling import run_pipeline
 
-    cache = ArtifactCache(args.cache_root) if args.cache else None
+    # Journaled runs (--run-id / --resume) need checkpoints to recover from.
+    want_cache = args.cache or args.run_id is not None or args.resume is not None
+    cache = ArtifactCache(args.cache_root) if want_cache else None
     result = run_pipeline(
         seed=args.seed,
         jobs=args.jobs,
@@ -92,6 +94,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         dimensions=args.dimensions,
         n_topics=args.topics,
         nmf_restarts=args.restarts,
+        run_id=args.run_id,
+        resume=args.resume,
     )
     rows = [
         [t.stage, f"{t.seconds:8.3f}s", "hit" if t.cache_hit else "-"]
@@ -109,10 +113,15 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
           + "; ".join(" ".join(topic[:4]) for topic in result.topics[:4]) + " ...")
     print(f"total {result.total_seconds:.3f}s over {result.n_documents} docs x "
           f"{result.n_features} features")
+    if result.resumed:
+        print(f"resumed run {result.run_id!r}: "
+              f"{len(result.skipped_stages)} stage(s) skipped from journal "
+              f"({', '.join(result.skipped_stages) or 'none'})")
     if cache is not None:
         stats = cache.stats()
         print(f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
-              f"{stats['stored']} stored under {cache.root}")
+              f"{stats['stored']} stored, {stats['quarantined']} quarantined "
+              f"under {cache.root}")
     return 0
 
 
@@ -313,6 +322,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--topics", type=int, default=8, help="NMF topic count")
     p.add_argument("--restarts", type=int, default=4, help="NMF restarts")
+    p.add_argument("--run-id",
+                   help="journal every stage under this id (implies caching) "
+                        "so a killed run can be resumed")
+    p.add_argument("--resume", metavar="RUN_ID",
+                   help="resume a journaled run: committed stages are "
+                        "digest-verified and skipped")
     p.set_defaults(fn=_cmd_pipeline)
 
     p = sub.add_parser("inject", help="run the fault-injection campaign")

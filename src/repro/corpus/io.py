@@ -1,10 +1,18 @@
-"""JSONL serialization for labeled bug datasets (whole-file and sharded)."""
+"""JSONL serialization for labeled bug datasets (whole-file and sharded).
+
+All writers publish *atomically*: content lands in a temporary sibling
+file, is fsync'd, and replaces the destination with ``os.replace``.  An
+interrupted save therefore leaves either the previous file intact or the
+new one complete — never a half-written dataset that a later load would
+have to guess about.
+"""
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.corpus.dataset import BugDataset, LabeledBug
 from repro.errors import CorpusError
@@ -19,13 +27,38 @@ _SHARD_NAME = "shard-{index:04d}.jsonl"
 _MANIFEST_NAME = "manifest.json"
 
 
+def _atomic_write_text(path: Path, write: "Callable[..., None]") -> None:
+    """Write through a tmp sibling + fsync + ``os.replace``.
+
+    ``write(handle)`` produces the content.  If it raises, the destination
+    is untouched and the tmp file is removed — a crashed or failing writer
+    can never tear an existing dataset.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with tmp.open("w", encoding="utf-8") as handle:
+            write(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
 def save_dataset_jsonl(dataset: BugDataset, path: str | Path) -> None:
-    """Write one ``{"report": ..., "label": ...}`` JSON object per line."""
+    """Write one ``{"report": ..., "label": ...}`` JSON object per line.
+
+    The write is atomic: readers see the old file or the new file, never a
+    prefix of the new one.
+    """
     path = Path(path)
-    with path.open("w") as handle:
+
+    def _write(handle) -> None:
         for bug in dataset:
             record = {"report": bug.report.to_dict(), "label": bug.label.to_dict()}
             handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    _atomic_write_text(path, _write)
 
 
 def load_dataset_jsonl(path: str | Path) -> BugDataset:
@@ -95,8 +128,13 @@ def save_dataset_shards(
         "total": len(bugs),
         "shards": [p.name for p in paths],
     }
-    (directory / _MANIFEST_NAME).write_text(
-        json.dumps(manifest, indent=2, sort_keys=True)
+    # The manifest is published last and atomically: a crash mid-layout
+    # leaves either the previous manifest (still describing a complete old
+    # layout) or no manifest — load_dataset_shards never sees a manifest
+    # pointing at shards that were not fully written before it.
+    _atomic_write_text(
+        directory / _MANIFEST_NAME,
+        lambda handle: handle.write(json.dumps(manifest, indent=2, sort_keys=True)),
     )
     return paths
 

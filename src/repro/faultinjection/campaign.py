@@ -1,12 +1,30 @@
-"""Campaign runner: execute the fault catalog, compare against expectations."""
+"""Campaign runner: execute the fault catalog, compare against expectations.
+
+Campaigns are *journaled* when given a ``run_id``: each spec's outcomes
+commit through a :class:`~repro.recovery.CheckpointManager` (begin/commit
+WAL over digest-verified cache checkpoints), so a campaign killed mid-flight
+resumes with ``resume=run_id`` and re-executes only the specs whose commits
+never landed.  Worker-crash containment by the :class:`WorkPool` is priced
+into the campaign's :class:`ResilienceLedger` — recovery is measured, not
+asserted, per the paper's §VII complaint.
+"""
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from repro.faultinjection.faults import FaultSpec, default_catalog
-from repro.parallel import WorkPool
+from repro.parallel import ArtifactCache, WorkPool, canonicalize
+from repro.recovery.checkpoint import (
+    CheckpointManager,
+    RecoveryError,
+    open_run_journal,
+)
+from repro.recovery.journal import EVENT_RUN_END, JournalEvent
 from repro.resilience.ledger import ResilienceEvent, ResilienceLedger
 from repro.resilience.policies import ResilienceConfig
 from repro.resilience.supervisor import RestartRun, SupervisedRestart
@@ -16,6 +34,20 @@ from repro.taxonomy import BugType, RootCause, Symptom
 if TYPE_CHECKING:  # pragma: no cover
     from repro.adversary.schedule import FaultSchedule
     from repro.adversary.world import AdversaryResult
+
+
+def _price_containment(pool: WorkPool, ledger: ResilienceLedger) -> None:
+    """Ledger the pool's worker-crash containment events as recovery cost."""
+    for entry in pool.containment:
+        recovered = entry["outcome"] == "recovered"
+        ledger.record(
+            ResilienceEvent.RESTART if recovered else ResilienceEvent.GIVE_UP,
+            "workpool",
+            detail=(
+                f"worker crash on task {entry['index']}: {entry['outcome']}"
+            ),
+            attempt=entry["attempts"],
+        )
 
 
 def _run_spec_task(
@@ -108,6 +140,10 @@ class CampaignResult:
     """All fault results from one campaign."""
 
     results: list[FaultResult] = field(default_factory=list)
+    #: Recovery-cost accounting (worker-crash containment, restarts).
+    ledger: ResilienceLedger = field(default_factory=ResilienceLedger)
+    #: Fault ids satisfied from journal-committed checkpoints on resume.
+    skipped: list[str] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.results)
@@ -157,21 +193,172 @@ class FaultCampaign:
         self.base_seed = base_seed
         self.jobs = jobs
 
-    def run(self) -> CampaignResult:
+    # -- journaling ------------------------------------------------------------
+    @staticmethod
+    def _resolve_run_id(run_id: str | None, resume: str | None) -> str | None:
+        if resume is not None:
+            if run_id is not None and run_id != resume:
+                raise RecoveryError(
+                    f"conflicting run ids: run_id={run_id!r}, resume={resume!r}"
+                )
+            return resume
+        return run_id
+
+    def config_digest(
+        self, *, arm: str, extra: Mapping[str, Any] | None = None
+    ) -> str:
+        """Digest of everything that determines this campaign's outcomes.
+
+        ``jobs`` is deliberately absent — worker count is a performance
+        knob, so a campaign may legally resume at a different width.
+        """
+        config = canonicalize({
+            "arm": arm,
+            "fault_ids": [spec.fault_id for spec in self.catalog],
+            "base_seed": self.base_seed,
+            "seeds_per_fault": self.seeds_per_fault,
+            **(extra or {}),
+        })
+        payload = json.dumps(config, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _journaled_spec_values(
+        self,
+        pool: WorkPool,
+        task_fn: Callable[[Any], Any],
+        task_for: Callable[[FaultSpec], Any],
+        params_for: Callable[[FaultSpec], Mapping[str, Any]],
+        *,
+        namespace: str,
+        config_digest: str,
+        cache: ArtifactCache | None,
+        run_id: str,
+        resume: bool,
+        journal_root: str | Path | None,
+        on_journal_event: Callable[[JournalEvent], None] | None,
+        ledger: ResilienceLedger,
+    ) -> tuple[list[Any], list[str]]:
+        """Run every catalog spec under begin/commit journaling.
+
+        Specs execute in waves of ``jobs`` so a kill between waves loses at
+        most one wave of work; within a wave every spec is journaled
+        ``begin`` before the fan-out and ``commit`` as its checkpoint
+        publishes.  Returns catalog-ordered values plus the fault ids
+        satisfied straight from journal-committed checkpoints.
+        """
+        if cache is None:
+            raise RecoveryError(
+                "journaled campaigns require an artifact cache "
+                "(checkpoints are what resume recovers from)"
+            )
+        root = (
+            Path(journal_root) if journal_root is not None
+            else cache.root / ".journal"
+        )
+        journal, committed = open_run_journal(
+            root / f"{run_id}.jsonl", run_id,
+            resume=resume, config_digest=config_digest,
+            on_event=on_journal_event,
+        )
+        manager = CheckpointManager(cache, journal, committed=committed)
+        values: dict[str, Any] = {}
+        skipped: list[str] = []
+        try:
+            pending: list[FaultSpec] = []
+            for spec in self.catalog:
+                stage = f"spec:{spec.fault_id}"
+                value, outcome = manager.peek(stage, namespace, params_for(spec))
+                if outcome is not None:
+                    values[spec.fault_id] = value
+                    if outcome.skipped:
+                        skipped.append(spec.fault_id)
+                else:
+                    pending.append(spec)
+            width = max(self.jobs, 1)
+            for start in range(0, len(pending), width):
+                wave = pending[start:start + width]
+                for spec in wave:
+                    manager.begin(
+                        f"spec:{spec.fault_id}", namespace, params_for(spec)
+                    )
+                wave_values = pool.map(task_fn, [task_for(spec) for spec in wave])
+                _price_containment(pool, ledger)
+                for spec, value in zip(wave, wave_values):
+                    manager.commit_value(
+                        f"spec:{spec.fault_id}", namespace,
+                        params_for(spec), value,
+                    )
+                    values[spec.fault_id] = value
+            journal.append(EVENT_RUN_END)
+        finally:
+            journal.close()
+        return [values[spec.fault_id] for spec in self.catalog], skipped
+
+    def run(
+        self,
+        *,
+        cache: ArtifactCache | None = None,
+        run_id: str | None = None,
+        resume: str | None = None,
+        journal_root: str | Path | None = None,
+        on_journal_event: Callable[[JournalEvent], None] | None = None,
+    ) -> CampaignResult:
         """Execute the catalog; specs fan out across ``jobs`` workers.
 
         Each spec's outcomes are a pure function of ``(spec, base_seed)``,
         and results are collected in catalog order, so the report is
-        identical for every ``jobs`` value.
+        identical for every ``jobs`` value.  With ``run_id=`` every spec
+        commits through a journal and ``resume=`` continues a killed
+        campaign, re-executing only uncommitted specs.
         """
+        run_id = self._resolve_run_id(run_id, resume)
         pool = WorkPool(self.jobs)
-        results = pool.map(
-            _run_spec_task,
-            [(spec, self.base_seed, self.seeds_per_fault) for spec in self.catalog],
-        )
-        return CampaignResult(results=results)
+        result = CampaignResult()
+        if run_id is None:
+            result.results = pool.map(
+                _run_spec_task,
+                [
+                    (spec, self.base_seed, self.seeds_per_fault)
+                    for spec in self.catalog
+                ],
+            )
+            _price_containment(pool, result.ledger)
+            return result
 
-    def run_ab(self, *, resilience: ResilienceConfig | None = None) -> AbReport:
+        def _params(spec: FaultSpec) -> dict[str, Any]:
+            return {
+                "arm": "bare",
+                "fault_id": spec.fault_id,
+                "base_seed": self.base_seed,
+                "seeds_per_fault": self.seeds_per_fault,
+            }
+
+        result.results, result.skipped = self._journaled_spec_values(
+            pool,
+            _run_spec_task,
+            lambda spec: (spec, self.base_seed, self.seeds_per_fault),
+            _params,
+            namespace="faultcampaign",
+            config_digest=self.config_digest(arm="bare"),
+            cache=cache,
+            run_id=run_id,
+            resume=resume is not None,
+            journal_root=journal_root,
+            on_journal_event=on_journal_event,
+            ledger=result.ledger,
+        )
+        return result
+
+    def run_ab(
+        self,
+        *,
+        resilience: ResilienceConfig | None = None,
+        cache: ArtifactCache | None = None,
+        run_id: str | None = None,
+        resume: str | None = None,
+        journal_root: str | Path | None = None,
+        on_journal_event: Callable[[JournalEvent], None] | None = None,
+    ) -> AbReport:
         """Run every fault twice — bare, then hardened — and pair the results.
 
         The hardened arm runs inside :func:`resilience_context` (so every
@@ -183,6 +370,7 @@ class FaultCampaign:
         residual symptoms.
         """
         config = resilience if resilience is not None else ResilienceConfig.default()
+        run_id = self._resolve_run_id(run_id, resume)
         ledger = ResilienceLedger()
         report = AbReport(config=config, ledger=ledger)
         # The process backend is required for jobs > 1: resilience_context
@@ -190,13 +378,41 @@ class FaultCampaign:
         # arms.  Each task runs with a private ledger; merging the per-spec
         # ledgers in catalog order reproduces the serial record sequence.
         pool = WorkPool(self.jobs, backend="serial" if self.jobs == 1 else "process")
-        outcomes = pool.map(
-            _run_ab_spec_task,
-            [
-                (spec, self.base_seed, self.seeds_per_fault, config)
-                for spec in self.catalog
-            ],
-        )
+        if run_id is None:
+            outcomes = pool.map(
+                _run_ab_spec_task,
+                [
+                    (spec, self.base_seed, self.seeds_per_fault, config)
+                    for spec in self.catalog
+                ],
+            )
+            _price_containment(pool, ledger)
+        else:
+            def _params(spec: FaultSpec) -> dict[str, Any]:
+                return {
+                    "arm": "ab",
+                    "fault_id": spec.fault_id,
+                    "base_seed": self.base_seed,
+                    "seeds_per_fault": self.seeds_per_fault,
+                    "resilience": repr(config),
+                }
+
+            outcomes, report.skipped = self._journaled_spec_values(
+                pool,
+                _run_ab_spec_task,
+                lambda spec: (spec, self.base_seed, self.seeds_per_fault, config),
+                _params,
+                namespace="faultcampaign-ab",
+                config_digest=self.config_digest(
+                    arm="ab", extra={"resilience": repr(config)}
+                ),
+                cache=cache,
+                run_id=run_id,
+                resume=resume is not None,
+                journal_root=journal_root,
+                on_journal_event=on_journal_event,
+                ledger=ledger,
+            )
         for result, spec_ledger in outcomes:
             report.results.append(result)
             ledger.records.extend(spec_ledger.records)
@@ -358,6 +574,8 @@ class AbReport:
     config: ResilienceConfig
     ledger: ResilienceLedger
     results: list[AbFaultResult] = field(default_factory=list)
+    #: Fault ids satisfied from journal-committed checkpoints on resume.
+    skipped: list[str] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.results)

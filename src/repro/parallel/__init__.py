@@ -11,17 +11,20 @@ cold-cache run — a property enforced by ``tests/test_parallel_equivalence.py``
 
 from repro.parallel.cache import (
     DEFAULT_CACHE_ROOT,
+    QUARANTINE_DIRNAME,
     ArtifactCache,
     CacheError,
     cache_key,
     canonicalize,
 )
-from repro.parallel.executor import WorkPool
+from repro.parallel.executor import PoisonTaskError, WorkPool
 
 __all__ = [
     "ArtifactCache",
     "CacheError",
     "DEFAULT_CACHE_ROOT",
+    "PoisonTaskError",
+    "QUARANTINE_DIRNAME",
     "WorkPool",
     "cache_key",
     "canonicalize",

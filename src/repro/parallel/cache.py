@@ -14,7 +14,16 @@ cache keys every artifact on the *complete* configuration that produced it
 
 Artifacts live under ``benchmarks/artifacts/cache/<namespace>/`` as a
 pickle payload plus a JSON metadata sidecar recording the canonicalized
-parameters, so a cache directory is auditable with plain ``cat``.
+parameters and a sha256 digest of the payload bytes, so a cache directory
+is auditable with plain ``cat`` and ``sha256sum``.
+
+Corruption is never silent: a payload whose bytes no longer match the
+sidecar digest (bit rot, a torn write, a partial copy) — or a payload
+whose sidecar is missing entirely — is *quarantined* into
+``<root>/.quarantine/`` with a reason file, counted in :meth:`stats`, and
+reported as a miss so the caller recomputes over a clean slot.  A
+bit-flipped payload that still unpickles can therefore never flow back
+into a run.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from __future__ import annotations
 import enum
 import hashlib
 import json
+import os
 import pickle
 from pathlib import Path
 from typing import Any, Callable, Mapping
@@ -31,8 +41,18 @@ from repro.errors import ReproError
 #: Default cache location, relative to the repository root.
 DEFAULT_CACHE_ROOT = Path("benchmarks") / "artifacts" / "cache"
 
+#: Directory (under the cache root) holding digest-mismatched entries.
+QUARANTINE_DIRNAME = ".quarantine"
+
 #: Bump when the payload format changes; part of every key.
 _FORMAT_VERSION = 1
+
+
+def _fsync_replace(tmp: Path, path: Path) -> None:
+    """Durably publish ``tmp`` as ``path``: fsync the data, then rename."""
+    with tmp.open("rb") as handle:
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
 
 
 class CacheError(ReproError):
@@ -104,6 +124,7 @@ class ArtifactCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     # -- paths -----------------------------------------------------------------
     def path_for(self, namespace: str, params: Mapping[str, Any]) -> Path:
@@ -113,23 +134,86 @@ class ArtifactCache:
     def _meta_path(self, payload_path: Path) -> Path:
         return payload_path.with_suffix(".json")
 
+    @property
+    def quarantine_root(self) -> Path:
+        return self.root / QUARANTINE_DIRNAME
+
+    # -- integrity -------------------------------------------------------------
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt payload (and sidecar) aside instead of deleting it.
+
+        The entry stops satisfying lookups immediately, but the evidence
+        survives for a post-mortem: the payload, its sidecar, and a
+        ``.reason`` file land under ``<root>/.quarantine/<namespace>/``.
+        """
+        target_dir = self.quarantine_root / path.parent.name
+        target_dir.mkdir(parents=True, exist_ok=True)
+        for artifact in (path, self._meta_path(path)):
+            if artifact.exists():
+                os.replace(artifact, target_dir / artifact.name)
+        (target_dir / f"{path.stem}.reason").write_text(reason + "\n")
+        self.quarantined += 1
+
+    def digest_of(self, namespace: str, params: Mapping[str, Any]) -> str | None:
+        """The stored payload digest from the sidecar, or ``None``."""
+        meta_path = self._meta_path(self.path_for(namespace, params))
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (OSError, ValueError):
+            return None
+        digest = meta.get("sha256")
+        return str(digest) if digest is not None else None
+
     # -- access ----------------------------------------------------------------
-    def get(self, namespace: str, params: Mapping[str, Any]) -> Any | None:
-        """The cached artifact, or ``None`` on miss (or unreadable entry)."""
+    def lookup(self, namespace: str, params: Mapping[str, Any]) -> tuple[Any, bool]:
+        """``(artifact, found)`` — digest-verified, quarantining on corruption.
+
+        Unlike :meth:`get`, the ``found`` flag distinguishes a cached
+        ``None`` from a miss.
+        """
         path = self.path_for(namespace, params)
         if not path.exists():
             self.misses += 1
-            return None
+            return None, False
         try:
-            with path.open("rb") as handle:
-                value = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            # A truncated/stale artifact is a miss, not a crash: the caller
-            # recomputes and overwrites it.
+            data = path.read_bytes()
+        except OSError:
             self.misses += 1
-            return None
+            return None, False
+        try:
+            meta = json.loads(self._meta_path(path).read_text())
+        except (OSError, ValueError) as exc:
+            self._quarantine(path, f"missing or unreadable sidecar: {exc}")
+            self.misses += 1
+            return None, False
+        expected = meta.get("sha256")
+        if expected is not None:
+            actual = hashlib.sha256(data).hexdigest()
+            if actual != expected:
+                self._quarantine(
+                    path, f"payload digest mismatch: sidecar {expected}, "
+                    f"payload {actual}"
+                )
+                self.misses += 1
+                return None, False
+        try:
+            value = pickle.loads(data)
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ValueError, TypeError) as exc:
+            self._quarantine(path, f"unpicklable payload: {exc}")
+            self.misses += 1
+            return None, False
         self.hits += 1
-        return value
+        return value, True
+
+    def get(self, namespace: str, params: Mapping[str, Any]) -> Any | None:
+        """The cached artifact, or ``None`` on miss (or quarantined entry).
+
+        ``None`` is ambiguous for caches that store ``None`` artifacts —
+        use :meth:`lookup` when that matters.
+        """
+        value, found = self.lookup(namespace, params)
+        return value if found else None
 
     def put(
         self,
@@ -139,24 +223,35 @@ class ArtifactCache:
         *,
         extra_meta: Mapping[str, Any] | None = None,
     ) -> Path:
-        """Store ``value`` and its JSON metadata sidecar; returns the path."""
+        """Store ``value`` with a digest-bearing sidecar; returns the path.
+
+        Both files publish atomically (tmp sibling + ``os.replace`` after
+        fsync), sidecar first: a crash between the two leaves either a
+        stale pair (digest mismatch -> quarantined on next read) or a
+        sidecar without payload (a plain miss) — never a silently-wrong
+        artifact.
+        """
         path = self.path_for(namespace, params)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".pkl.tmp")
-        with tmp.open("wb") as handle:
-            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp.replace(path)  # atomic publish: readers never see partial writes
+        data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         meta = {
             "namespace": namespace,
             "key": path.stem,
             "format": _FORMAT_VERSION,
             "params": canonicalize(dict(params)),
             "payload": path.name,
-            "bytes": path.stat().st_size,
+            "bytes": len(data),
+            "sha256": hashlib.sha256(data).hexdigest(),
         }
         if extra_meta:
             meta.update(canonicalize(dict(extra_meta)))
-        self._meta_path(path).write_text(json.dumps(meta, indent=2, sort_keys=True))
+        meta_path = self._meta_path(path)
+        meta_tmp = meta_path.with_suffix(".json.tmp")
+        meta_tmp.write_text(json.dumps(meta, indent=2, sort_keys=True))
+        _fsync_replace(meta_tmp, meta_path)
+        tmp = path.with_suffix(".pkl.tmp")
+        tmp.write_bytes(data)
+        _fsync_replace(tmp, path)
         return path
 
     def get_or_compute(
@@ -168,8 +263,8 @@ class ArtifactCache:
         extra_meta: Mapping[str, Any] | None = None,
     ) -> tuple[Any, bool]:
         """``(artifact, hit)`` — computing and storing on miss."""
-        cached = self.get(namespace, params)
-        if cached is not None:
+        cached, found = self.lookup(namespace, params)
+        if found:
             return cached, True
         value = compute()
         self.put(namespace, params, value, extra_meta=extra_meta)
@@ -177,11 +272,17 @@ class ArtifactCache:
 
     # -- maintenance -----------------------------------------------------------
     def entries(self, namespace: str | None = None) -> list[Path]:
-        """Payload paths currently stored (optionally one namespace)."""
+        """Payload paths currently stored (optionally one namespace).
+
+        Quarantined payloads are evidence, not inventory — excluded.
+        """
         base = self.root if namespace is None else self.root / namespace
         if not base.exists():
             return []
-        return sorted(base.rglob("*.pkl"))
+        return sorted(
+            path for path in base.rglob("*.pkl")
+            if QUARANTINE_DIRNAME not in path.parts
+        )
 
     def clear(self, namespace: str | None = None) -> int:
         """Delete stored artifacts; returns the number removed."""
@@ -194,4 +295,9 @@ class ArtifactCache:
         return removed
 
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stored": len(self.entries())}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "quarantined": self.quarantined,
+            "stored": len(self.entries()),
+        }

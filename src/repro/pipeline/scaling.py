@@ -15,17 +15,33 @@ Worker count and cache state are *performance* knobs only: every stage is
 bit-for-bit identical for jobs=1, jobs=N, and warm-cache runs (enforced
 by ``tests/test_parallel_equivalence.py``).  Worker counts therefore never
 appear in cache keys.
+
+A third lever makes long runs *durable*: pass ``run_id=`` to journal every
+stage through a :class:`~repro.recovery.RunJournal` (begin/commit WAL over
+the cache's atomic checkpoints), and ``resume=`` to restart a killed run —
+committed stages are skipped after digest verification, execution restarts
+at the first uncommitted stage, and the result is bit-for-bit identical to
+an uninterrupted run (enforced by ``tests/test_crash_resume.py``).
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from pathlib import Path
+from typing import Callable, Sequence
 
-from repro.parallel import ArtifactCache, WorkPool
+from repro.parallel import ArtifactCache, WorkPool, canonicalize
 from repro.pipeline.autoclassifier import ClassifierKind
 from repro.pipeline.validation import ValidationReport, validate_pipeline
+from repro.recovery.checkpoint import (
+    CheckpointManager,
+    RecoveryError,
+    open_run_journal,
+)
+from repro.recovery.journal import EVENT_RUN_END, JournalEvent, RunJournal
 
 #: Hyperparameters of the pipeline's TF-IDF stage, part of its cache key.
 _TFIDF_PARAMS = {"min_count": 2, "sublinear_tf": False, "normalize": True}
@@ -54,6 +70,12 @@ class PipelineResult:
     topic_errors: dict[int, float] = field(default_factory=dict)
     n_documents: int = 0
     n_features: int = 0
+    #: Journal identity of this run (``None`` for unjournaled runs).
+    run_id: str | None = None
+    #: True when this result came from ``resume=``.
+    resumed: bool = False
+    #: Stages satisfied straight from journal-committed checkpoints.
+    skipped_stages: list[str] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -90,6 +112,56 @@ class _Timer:
         )
 
 
+def pipeline_config_digest(
+    *,
+    seed: int,
+    dimensions: Sequence[str],
+    kind: ClassifierKind,
+    n_topics: int,
+    nmf_restarts: int,
+    split_seed: int,
+) -> str:
+    """Digest of everything that determines a pipeline run's outputs.
+
+    ``jobs`` and cache state are deliberately absent — they are performance
+    knobs under the equivalence contract, so a run may legally resume with
+    a different worker count.
+    """
+    config = canonicalize({
+        "seed": seed,
+        "dimensions": list(dimensions),
+        "classifier": kind,
+        "n_topics": n_topics,
+        "nmf_restarts": nmf_restarts,
+        "split_seed": split_seed,
+        "tfidf": _TFIDF_PARAMS,
+        "svm": _SVM_PARAMS,
+    })
+    payload = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _open_pipeline_journal(
+    cache: ArtifactCache | None,
+    run_id: str,
+    resume: bool,
+    journal_root: str | Path | None,
+    config_digest: str,
+    on_journal_event: Callable[[JournalEvent], None] | None,
+) -> tuple[RunJournal, dict[str, JournalEvent]]:
+    """Open (or replay-then-reopen) the journal for one pipeline run."""
+    if cache is None:
+        raise RecoveryError(
+            "journaled pipeline runs require an artifact cache "
+            "(checkpoints are what resume recovers from)"
+        )
+    root = Path(journal_root) if journal_root is not None else cache.root / ".journal"
+    return open_run_journal(
+        root / f"{run_id}.jsonl", run_id,
+        resume=resume, config_digest=config_digest, on_event=on_journal_event,
+    )
+
+
 def run_pipeline(
     *,
     seed: int = 2020,
@@ -100,88 +172,126 @@ def run_pipeline(
     n_topics: int = 8,
     nmf_restarts: int = 4,
     split_seed: int = 0,
+    run_id: str | None = None,
+    resume: str | None = None,
+    journal_root: str | Path | None = None,
+    on_journal_event: Callable[[JournalEvent], None] | None = None,
 ) -> PipelineResult:
     """Run the full NLP scaling pipeline once.
 
     ``jobs`` sets the :class:`WorkPool` width for every stage; ``cache``
     (optional) skips stages whose full configuration is already stored.
+    ``run_id`` journals every stage begin/commit so a killed run can be
+    continued with ``resume=run_id``: committed stages are verified against
+    the journal's digests and skipped, the rest re-execute.
     """
     from repro.corpus import CorpusGenerator
     from repro.ml.nmf import nmf_multi_restart
     from repro.textmining import TfidfVectorizer, Tokenizer
 
+    if resume is not None:
+        if run_id is not None and run_id != resume:
+            raise RecoveryError(
+                f"conflicting run ids: run_id={run_id!r}, resume={resume!r}"
+            )
+        run_id = resume
+
+    journal: RunJournal | None = None
+    manager: CheckpointManager | None = None
+    if run_id is not None:
+        config_digest = pipeline_config_digest(
+            seed=seed, dimensions=dimensions, kind=kind, n_topics=n_topics,
+            nmf_restarts=nmf_restarts, split_seed=split_seed,
+        )
+        journal, committed = _open_pipeline_journal(
+            cache, run_id, resume is not None, journal_root,
+            config_digest, on_journal_event,
+        )
+        manager = CheckpointManager(cache, journal, committed=committed)
+
     pool = WorkPool(jobs)
-    result = PipelineResult(seed=seed, jobs=jobs)
+    result = PipelineResult(
+        seed=seed, jobs=jobs, run_id=run_id, resumed=resume is not None
+    )
 
-    corpus_params = {"seed": seed, "stage": "study-corpus"}
-    with _Timer(result, "corpus") as timer:
+    def _stage(timer, name, namespace, params, compute):
+        if manager is not None:
+            value, outcome = manager.run_stage(name, namespace, params, compute)
+            timer.cache_hit = outcome.hit
+            return value
         if cache is not None:
-            corpus, timer.cache_hit = cache.get_or_compute(
-                "corpus", corpus_params, CorpusGenerator(seed=seed).generate
+            value, timer.cache_hit = cache.get_or_compute(
+                namespace, params, compute
             )
-        else:
-            corpus = CorpusGenerator(seed=seed).generate()
+            return value
+        return compute()
 
-    sample = corpus.manual_sample
-    texts = sample.texts()
-
-    tfidf_params = {"seed": seed, **_TFIDF_PARAMS}
-    with _Timer(result, "tfidf") as timer:
-        def _build_tfidf():
-            token_docs = Tokenizer().tokenize_all(texts)
-            vectorizer = TfidfVectorizer(min_count=_TFIDF_PARAMS["min_count"])
-            matrix = vectorizer.fit_transform(token_docs, pool=pool)
-            return matrix, vectorizer.feature_names
-
-        if cache is not None:
-            (matrix, feature_names), timer.cache_hit = cache.get_or_compute(
-                "tfidf", tfidf_params, _build_tfidf
+    try:
+        corpus_params = {"seed": seed, "stage": "study-corpus"}
+        with _Timer(result, "corpus") as timer:
+            corpus = _stage(
+                timer, "corpus", "corpus", corpus_params,
+                CorpusGenerator(seed=seed).generate,
             )
-        else:
-            matrix, feature_names = _build_tfidf()
-    result.n_documents, result.n_features = matrix.shape
 
-    nmf_params = {
-        "seed": seed,
-        "n_topics": n_topics,
-        "restarts": nmf_restarts,
-        "tfidf": _TFIDF_PARAMS,
-    }
-    with _Timer(result, "nmf") as timer:
-        def _build_topics():
-            restart = nmf_multi_restart(
-                matrix, n_topics, restarts=nmf_restarts, pool=pool
+        sample = corpus.manual_sample
+        texts = sample.texts()
+
+        tfidf_params = {"seed": seed, **_TFIDF_PARAMS}
+        with _Timer(result, "tfidf") as timer:
+            def _build_tfidf():
+                token_docs = Tokenizer().tokenize_all(texts)
+                vectorizer = TfidfVectorizer(min_count=_TFIDF_PARAMS["min_count"])
+                matrix = vectorizer.fit_transform(token_docs, pool=pool)
+                return matrix, vectorizer.feature_names
+
+            matrix, feature_names = _stage(
+                timer, "tfidf", "tfidf", tfidf_params, _build_tfidf
             )
-            return restart.model.top_terms(feature_names, 8), restart.errors
+        result.n_documents, result.n_features = matrix.shape
 
-        if cache is not None:
-            (topics, errors), timer.cache_hit = cache.get_or_compute(
-                "nmf", nmf_params, _build_topics
-            )
-        else:
-            topics, errors = _build_topics()
-    result.topics = topics
-    result.topic_errors = errors
-
-    for dimension in dimensions:
-        params = {
+        nmf_params = {
             "seed": seed,
-            "split_seed": split_seed,
-            "dimension": dimension,
-            "classifier": kind,
-            "svm": _SVM_PARAMS if kind is ClassifierKind.SVM else None,
+            "n_topics": n_topics,
+            "restarts": nmf_restarts,
+            "tfidf": _TFIDF_PARAMS,
         }
-        with _Timer(result, f"validate:{dimension}") as timer:
-            def _validate(dimension: str = dimension):
-                return validate_pipeline(
-                    sample, dimension, kind=kind, seed=split_seed, n_jobs=jobs
+        with _Timer(result, "nmf") as timer:
+            def _build_topics():
+                restart = nmf_multi_restart(
+                    matrix, n_topics, restarts=nmf_restarts, pool=pool
                 )
+                return restart.model.top_terms(feature_names, 8), restart.errors
 
-            if cache is not None:
-                report, timer.cache_hit = cache.get_or_compute(
-                    f"validation-{kind.value}", params, _validate
+            topics, errors = _stage(timer, "nmf", "nmf", nmf_params, _build_topics)
+        result.topics = topics
+        result.topic_errors = errors
+
+        for dimension in dimensions:
+            params = {
+                "seed": seed,
+                "split_seed": split_seed,
+                "dimension": dimension,
+                "classifier": kind,
+                "svm": _SVM_PARAMS if kind is ClassifierKind.SVM else None,
+            }
+            with _Timer(result, f"validate:{dimension}") as timer:
+                def _validate(dimension: str = dimension):
+                    return validate_pipeline(
+                        sample, dimension, kind=kind, seed=split_seed, n_jobs=jobs
+                    )
+
+                report = _stage(
+                    timer, f"validate:{dimension}",
+                    f"validation-{kind.value}", params, _validate,
                 )
-            else:
-                report = _validate()
-        result.reports[dimension] = report
+            result.reports[dimension] = report
+
+        if journal is not None:
+            journal.append(EVENT_RUN_END)
+    finally:
+        if journal is not None:
+            journal.close()
+    if manager is not None:
+        result.skipped_stages = manager.skipped_stages()
     return result

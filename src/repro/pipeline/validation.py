@@ -8,15 +8,17 @@ protocol against ground-truth labels.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.corpus.dataset import BugDataset
 from repro.ml import accuracy_score, confusion_matrix, precision_recall_f1
 from repro.ml.model_selection import train_test_split
 from repro.pipeline.autoclassifier import AutoClassifier, ClassifierKind
-
-import numpy as np
 
 
 @dataclass
@@ -31,6 +33,10 @@ class ValidationReport:
     n_test: int
     confusion: list[list[int]] = field(default_factory=list)
     confusion_labels: list[str] = field(default_factory=list)
+    #: sha256 over the trained classifier's parameters — lets equivalence
+    #: and crash-recovery harnesses compare *weights* bit for bit without
+    #: shipping the arrays around.
+    weights_digest: str = ""
 
     def summary(self) -> str:
         """One-line human-readable summary."""
@@ -38,6 +44,30 @@ class ValidationReport:
             f"{self.dimension:12s} {self.classifier.value:14s} "
             f"accuracy={self.accuracy:6.1%}  (train={self.n_train}, test={self.n_test})"
         )
+
+
+def _weights_digest(model) -> str:
+    """sha256 of the trained classifier's parameters.
+
+    Prefers raw weight/bias bytes (LinearSVM); any other classifier kind
+    digests its pickled trained state instead.
+    """
+    classifier = getattr(model, "_classifier", model)
+    digest = hashlib.sha256()
+    weights = getattr(classifier, "weights_", None)
+    bias = getattr(classifier, "bias_", None)
+    if weights is not None:
+        digest.update(np.ascontiguousarray(weights).tobytes())
+        if bias is not None:
+            digest.update(np.ascontiguousarray(bias).tobytes())
+    else:
+        try:
+            digest.update(
+                pickle.dumps(classifier, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+        except (pickle.PicklingError, AttributeError, TypeError):
+            return ""  # unknown rather than unstable
+    return digest.hexdigest()
 
 
 def validate_pipeline(
@@ -81,6 +111,7 @@ def validate_pipeline(
         n_test=len(test_texts),
         confusion=matrix.tolist(),
         confusion_labels=[str(label) for label in matrix_labels],
+        weights_digest=_weights_digest(model),
     )
 
 

@@ -1,0 +1,201 @@
+"""Journaled, digest-verified stage execution over the artifact cache.
+
+The :class:`CheckpointManager` is the recovery layer's write path.  Each
+stage follows the WAL discipline:
+
+1. ``begin`` is journaled *before* any compute starts;
+2. the artifact publishes atomically through
+   :meth:`~repro.parallel.ArtifactCache.put` (tmp + ``os.replace``, digest
+   sidecar);
+3. ``commit`` — carrying the cache key and the artifact's sha256 digest —
+   is journaled only after the checkpoint is durable.
+
+On resume the manager is seeded with the journal's committed-stage map: a
+stage whose committed key matches the current configuration is satisfied
+straight from the cache, *iff* the cached payload still carries the exact
+digest the journal promised.  A vanished, truncated, or bit-flipped
+checkpoint is quarantined by the cache and the stage silently returns to
+the recompute path — corruption costs a recompute, never a wrong result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.errors import ReproError
+from repro.parallel.cache import ArtifactCache, cache_key
+from repro.recovery.journal import (
+    EVENT_BEGIN,
+    EVENT_COMMIT,
+    EVENT_RUN_RESUME,
+    EVENT_RUN_START,
+    EVENT_SKIP,
+    JournalEvent,
+    RunJournal,
+    replay_journal,
+)
+
+
+class RecoveryError(ReproError):
+    """Invalid recovery configuration, or a resume that cannot be honored."""
+
+
+def open_run_journal(
+    path: str | Path,
+    run_id: str,
+    *,
+    resume: bool,
+    config_digest: str,
+    on_event: Callable[[JournalEvent], None] | None = None,
+) -> tuple[RunJournal, dict[str, JournalEvent]]:
+    """Open (fresh) or replay-then-reopen (resume) the journal for one run.
+
+    Fresh runs refuse an existing journal (the caller must say ``resume``
+    explicitly); resumes refuse a journal written for a different
+    ``config_digest`` — continuing a run under changed hyperparameters
+    would silently mix artifacts from two different experiments.
+
+    Returns the open journal plus the committed-stage map replayed from a
+    resumed journal (empty for fresh runs).
+    """
+    path = Path(path)
+    committed: dict[str, JournalEvent] = {}
+    if resume:
+        replay = replay_journal(path)
+        recorded = replay.run_config().get("config")
+        if recorded != config_digest:
+            raise RecoveryError(
+                f"{path}: resume refused — journal was written for a "
+                f"different configuration ({recorded} != {config_digest})"
+            )
+        committed = replay.committed()
+        journal = RunJournal(path, run_id, on_event=on_event)
+        journal.append(EVENT_RUN_RESUME, meta={"config": config_digest})
+    else:
+        if path.exists():
+            raise RecoveryError(
+                f"{path}: journal already exists for run id {run_id!r}; "
+                "pass resume= to continue it"
+            )
+        journal = RunJournal(path, run_id, on_event=on_event)
+        journal.append(EVENT_RUN_START, meta={"config": config_digest})
+    return journal, committed
+
+
+@dataclass(frozen=True)
+class StageOutcome:
+    """How one stage was satisfied."""
+
+    stage: str
+    key: str
+    digest: str
+    #: The artifact came from the cache (committed-skip or plain warm hit).
+    hit: bool
+    #: The artifact was proven finished by the journal and not re-verified
+    #: beyond its digest — the resume fast path.
+    skipped: bool
+
+
+class CheckpointManager:
+    """Run stages with begin/commit journaling and verified resume."""
+
+    def __init__(
+        self,
+        cache: ArtifactCache,
+        journal: RunJournal,
+        *,
+        committed: Mapping[str, JournalEvent] | None = None,
+    ) -> None:
+        self.cache = cache
+        self.journal = journal
+        self.committed = dict(committed or {})
+        self.outcomes: list[StageOutcome] = []
+
+    # -- primitives (used by wave-style callers like FaultCampaign) ------------
+    def peek(
+        self, stage: str, namespace: str, params: Mapping[str, Any]
+    ) -> tuple[Any, StageOutcome | None]:
+        """Satisfy ``stage`` without computing, if the record allows it.
+
+        Returns ``(value, outcome)`` when satisfied; ``(None, None)`` when
+        the caller must compute (then :meth:`begin` / :meth:`commit_value`).
+        """
+        key = cache_key(namespace, params)
+        record = self.committed.get(stage)
+        if record is not None and record.key == key:
+            value, found = self.cache.lookup(namespace, params)
+            if found and self.cache.digest_of(namespace, params) == record.digest:
+                self.journal.append(
+                    EVENT_SKIP, stage=stage, key=key, digest=record.digest
+                )
+                outcome = StageOutcome(stage, key, record.digest,
+                                       hit=True, skipped=True)
+                self.outcomes.append(outcome)
+                return value, outcome
+            # The journal promised a checkpoint the cache can no longer
+            # prove (quarantined, vanished, or digest drift): recompute.
+        value, found = self.cache.lookup(namespace, params)
+        if found:
+            # Warm cache from an unjournaled run: adopt it as a commit so
+            # later resumes skip it.
+            digest = self.cache.digest_of(namespace, params) or ""
+            self.journal.append(EVENT_BEGIN, stage=stage, key=key)
+            self.journal.append(EVENT_COMMIT, stage=stage, key=key, digest=digest)
+            outcome = StageOutcome(stage, key, digest, hit=True, skipped=False)
+            self.outcomes.append(outcome)
+            return value, outcome
+        return None, None
+
+    def begin(self, stage: str, namespace: str, params: Mapping[str, Any]) -> str:
+        """Journal intent to compute ``stage``; returns its cache key."""
+        key = cache_key(namespace, params)
+        self.journal.append(EVENT_BEGIN, stage=stage, key=key)
+        return key
+
+    def commit_value(
+        self,
+        stage: str,
+        namespace: str,
+        params: Mapping[str, Any],
+        value: Any,
+        *,
+        extra_meta: Mapping[str, Any] | None = None,
+    ) -> StageOutcome:
+        """Durably publish ``value`` then journal the commit."""
+        path = self.cache.put(namespace, params, value, extra_meta=extra_meta)
+        digest = self.cache.digest_of(namespace, params) or ""
+        key = path.stem
+        self.journal.append(EVENT_COMMIT, stage=stage, key=key, digest=digest)
+        outcome = StageOutcome(stage, key, digest, hit=False, skipped=False)
+        self.outcomes.append(outcome)
+        return outcome
+
+    # -- the common path -------------------------------------------------------
+    def run_stage(
+        self,
+        stage: str,
+        namespace: str,
+        params: Mapping[str, Any],
+        compute: Callable[[], Any],
+        *,
+        extra_meta: Mapping[str, Any] | None = None,
+    ) -> tuple[Any, StageOutcome]:
+        """Skip, reuse, or compute-and-commit one stage."""
+        value, outcome = self.peek(stage, namespace, params)
+        if outcome is not None:
+            return value, outcome
+        self.begin(stage, namespace, params)
+        value = compute()
+        outcome = self.commit_value(
+            stage, namespace, params, value, extra_meta=extra_meta
+        )
+        return value, outcome
+
+    # -- reporting -------------------------------------------------------------
+    def skipped_stages(self) -> list[str]:
+        return [o.stage for o in self.outcomes if o.skipped]
+
+    def computed_stages(self) -> list[str]:
+        return [o.stage for o in self.outcomes if not o.hit]

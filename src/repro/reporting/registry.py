@@ -224,6 +224,14 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "benchmarks/bench_parallel_pipeline.py",
         ("repro.parallel", "repro.pipeline", "repro.ml"),
     ),
+    Experiment(
+        "crash-recovery",
+        "SS VII-C recovery discipline (extension)",
+        "kill-injection campaign: journaled pipeline SIGKILLed at each "
+        "event offset resumes bit-for-bit; torn checkpoints quarantined",
+        "benchmarks/bench_crash_recovery.py",
+        ("repro.recovery", "repro.parallel", "repro.pipeline"),
+    ),
 )
 
 

@@ -22,7 +22,11 @@ class JiraTracker:
     """
 
     def __init__(self, projects: Iterable[str]) -> None:
-        self._projects = {p.upper() for p in projects}
+        # Sorted tuple, not a set: trackers travel inside pickled corpus
+        # checkpoints, and set iteration order depends on PYTHONHASHSEED —
+        # a hash-ordered container would make checkpoint bytes differ
+        # across processes.
+        self._projects = tuple(sorted({p.upper() for p in projects}))
         if not self._projects:
             raise TrackerError("a JIRA tracker needs at least one project")
         self._issues: dict[str, BugReport] = {}

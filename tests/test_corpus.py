@@ -3,14 +3,11 @@
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro import paperdata
 from repro.corpus import (
     BugDataset,
     CorpusGenerator,
-    LabeledBug,
     ResolutionTimeModel,
     default_profiles,
     load_dataset_jsonl,
@@ -22,7 +19,6 @@ from repro.corpus.generator import STUDY_END, STUDY_START
 from repro.errors import CorpusError
 from repro.parallel import WorkPool
 from repro.taxonomy import (
-    BugType,
     RootCause,
     Symptom,
     Trigger,
@@ -320,6 +316,59 @@ class TestJsonlIO:
         path.write_bytes(b"\xef\xbb\xbf" + b'{"report": {}}\n')
         with pytest.raises(CorpusError, match="bad.jsonl:1"):
             load_dataset_jsonl(path)
+
+
+class _InterruptedIteration:
+    """A dataset stand-in whose iteration dies mid-write (disk full, kill)."""
+
+    def __init__(self, bugs, explode_after):
+        self._bugs = list(bugs)
+        self._explode_after = explode_after
+
+    def __iter__(self):
+        for index, bug in enumerate(self._bugs):
+            if index >= self._explode_after:
+                raise RuntimeError("interrupted mid-write")
+            yield bug
+
+
+class TestAtomicWrites:
+    """Interrupted saves must leave the previous file intact, never a prefix."""
+
+    def test_interrupted_save_preserves_previous_dataset(self, dataset, tmp_path):
+        subset = dataset.sample(5, seed=7)
+        path = tmp_path / "bugs.jsonl"
+        save_dataset_jsonl(subset, path)
+        before = path.read_bytes()
+
+        bigger = dataset.sample(10, seed=8)
+        with pytest.raises(RuntimeError, match="interrupted"):
+            save_dataset_jsonl(_InterruptedIteration(bigger, 3), path)
+
+        assert path.read_bytes() == before
+        loaded = load_dataset_jsonl(path)
+        assert [b.bug_id for b in loaded] == [b.bug_id for b in subset]
+
+    def test_interrupted_save_leaves_no_tmp_litter(self, dataset, tmp_path):
+        path = tmp_path / "bugs.jsonl"
+        with pytest.raises(RuntimeError):
+            save_dataset_jsonl(
+                _InterruptedIteration(dataset.sample(4, seed=9), 1), path
+            )
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_successful_save_leaves_no_tmp_sibling(self, dataset, tmp_path):
+        path = tmp_path / "bugs.jsonl"
+        save_dataset_jsonl(dataset.sample(3, seed=10), path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["bugs.jsonl"]
+
+    def test_shard_manifest_written_atomically(self, dataset, tmp_path):
+        subset = dataset.sample(9, seed=11)
+        save_dataset_shards(subset, tmp_path, n_shards=3)
+        assert not (tmp_path / "manifest.json.tmp").exists()
+        reloaded = load_dataset_shards(tmp_path)
+        assert [b.bug_id for b in reloaded] == [b.bug_id for b in subset]
 
 
 class TestShardedIO:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import time
 
 import numpy as np
@@ -9,7 +11,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.parallel import ArtifactCache, CacheError, WorkPool, cache_key, canonicalize
+from repro.parallel import (
+    ArtifactCache,
+    CacheError,
+    PoisonTaskError,
+    WorkPool,
+    cache_key,
+    canonicalize,
+)
 from repro.pipeline.autoclassifier import ClassifierKind
 
 
@@ -22,6 +31,27 @@ def _stagger(item):
     index, delay = item
     time.sleep(delay)
     return index
+
+
+def _exit_once(task):
+    """Hard-exit the worker the first time; succeed on the retry.
+
+    The marker file carries the crashed-already state across worker
+    processes — module-level so the process backend can pickle it.
+    """
+    index, marker = task
+    if marker and not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(137)
+    return index * 10
+
+
+def _always_exit(task):
+    os._exit(137)
+
+
+def _raise_value_error(x):
+    raise ValueError(f"task {x}")
 
 
 class TestWorkPool:
@@ -79,6 +109,52 @@ class TestWorkPool:
         pool = WorkPool(4, backend="process")
         assert pool.map(_square, [5]) == [25]
         assert pool.last_backend == "serial"
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="worker-crash containment tests assume the fork start method",
+)
+class TestWorkerCrashContainment:
+    """A worker that dies hard must not abort the map (or the parent)."""
+
+    def test_process_task_exception_fails_fast(self):
+        with pytest.raises(ValueError, match="task"):
+            WorkPool(2, backend="process").map(_raise_value_error, [1, 2, 3])
+
+    def test_worker_hard_exit_recovers_unfinished_tasks(self, tmp_path):
+        marker = str(tmp_path / "crashed-once")
+        pool = WorkPool(2, backend="process")
+        tasks = [(0, ""), (1, marker), (2, ""), (3, "")]
+        assert pool.map(_exit_once, tasks) == [0, 10, 20, 30]
+        assert pool.last_backend == "process-contained"
+        recovered = [c for c in pool.containment if c["outcome"] == "recovered"]
+        assert recovered and all(c["attempts"] >= 1 for c in recovered)
+
+    def test_result_order_preserved_after_containment(self, tmp_path):
+        marker = str(tmp_path / "crashed-once")
+        pool = WorkPool(3, backend="process")
+        tasks = [(i, marker if i == 4 else "") for i in range(8)]
+        assert pool.map(_exit_once, tasks) == [i * 10 for i in range(8)]
+
+    def test_poison_task_quarantined_not_rerun_in_parent(self):
+        # Would os._exit the pytest process if containment ever ran the
+        # task in-parent — finishing this test at all is half the assert.
+        pool = WorkPool(2, backend="process", poison_attempts=2)
+        with pytest.raises(PoisonTaskError) as excinfo:
+            pool.map(_always_exit, [1, 2, 3])
+        assert excinfo.value.attempts == 2
+        assert any(
+            c["outcome"] == "quarantined" for c in pool.containment
+        )
+
+    def test_containment_resets_between_maps(self, tmp_path):
+        marker = str(tmp_path / "crashed-once")
+        pool = WorkPool(2, backend="process")
+        pool.map(_exit_once, [(0, marker), (1, "")])
+        assert pool.containment
+        pool.map(_square, [1, 2, 3, 4])
+        assert pool.containment == []
 
 
 class TestCanonicalize:
@@ -179,7 +255,9 @@ class TestArtifactCache:
         assert cache.get("svm", params) is None
         cache.put("svm", params, {"acc": 0.96})
         assert cache.get("svm", params) == {"acc": 0.96}
-        assert cache.stats() == {"hits": 1, "misses": 1, "stored": 1}
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "quarantined": 0, "stored": 1,
+        }
 
     def test_numpy_payload_roundtrip(self, tmp_path):
         cache = ArtifactCache(tmp_path)
@@ -232,3 +310,90 @@ class TestArtifactCache:
         assert cache.get("svm", {"seed": 1}) is None
         assert cache.get("tree", {"seed": 1}) == "b"
         assert cache.clear() == 1
+
+
+class TestArtifactCacheIntegrity:
+    """Digest sidecars, quarantine, and the cached-``None`` fix."""
+
+    def test_cached_none_is_a_hit_not_a_miss(self, tmp_path):
+        # get_or_compute used to conflate a cached None with a miss and
+        # recompute forever.
+        cache = ArtifactCache(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return None
+
+        value, hit = cache.get_or_compute("ns", {"k": 1}, compute)
+        assert (value, hit) == (None, False)
+        value, hit = cache.get_or_compute("ns", {"k": 1}, compute)
+        assert (value, hit) == (None, True)
+        assert len(calls) == 1
+
+    def test_lookup_distinguishes_none_from_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.lookup("ns", {"k": 1}) == (None, False)
+        cache.put("ns", {"k": 1}, None)
+        assert cache.lookup("ns", {"k": 1}) == (None, True)
+
+    def test_sidecar_records_payload_digest(self, tmp_path):
+        import hashlib
+        import json
+
+        cache = ArtifactCache(tmp_path)
+        path = cache.put("svm", {"seed": 1}, {"acc": 0.96})
+        meta = json.loads(path.with_suffix(".json").read_text())
+        assert meta["sha256"] == hashlib.sha256(path.read_bytes()).hexdigest()
+        assert meta["bytes"] == path.stat().st_size
+        assert cache.digest_of("svm", {"seed": 1}) == meta["sha256"]
+
+    def test_bit_flip_is_quarantined_never_returned(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        path = cache.put("svm", {"seed": 1}, "artifact")
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF  # still likely a valid pickle stream
+        path.write_bytes(bytes(data))
+
+        value, found = cache.lookup("svm", {"seed": 1})
+        assert (value, found) == (None, False)
+        assert cache.stats()["quarantined"] == 1
+        assert not path.exists()
+        quarantined = list(cache.quarantine_root.rglob("*.pkl"))
+        assert len(quarantined) == 1
+        reason = quarantined[0].with_suffix(".reason").read_text()
+        assert "digest mismatch" in reason
+
+    def test_missing_sidecar_is_quarantined(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        path = cache.put("svm", {"seed": 1}, "artifact")
+        path.with_suffix(".json").unlink()
+        assert cache.lookup("svm", {"seed": 1}) == (None, False)
+        assert cache.stats()["quarantined"] == 1
+
+    def test_quarantined_entries_leave_inventory(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        path = cache.put("svm", {"seed": 1}, "artifact")
+        cache.put("svm", {"seed": 2}, "fine")
+        path.write_bytes(b"torn")
+        cache.lookup("svm", {"seed": 1})
+        assert len(cache.entries()) == 1
+        assert cache.stats()["stored"] == 1
+
+    def test_recompute_after_quarantine_restores_entry(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        path = cache.put("svm", {"seed": 1}, "v1")
+        path.write_bytes(b"torn")
+        value, hit = cache.get_or_compute("svm", {"seed": 1}, lambda: "v2")
+        assert (value, hit) == ("v2", False)
+        assert cache.get("svm", {"seed": 1}) == "v2"
+        assert cache.stats()["quarantined"] == 1
+
+    def test_torn_payload_prefix_is_quarantined(self, tmp_path):
+        from repro.recovery import tear_file
+
+        cache = ArtifactCache(tmp_path)
+        path = cache.put("nmf", {"seed": 3}, {"W": np.arange(100.0)})
+        tear_file(path, path.stat().st_size // 2)
+        assert cache.lookup("nmf", {"seed": 3}) == (None, False)
+        assert cache.stats()["quarantined"] == 1

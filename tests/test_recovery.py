@@ -1,0 +1,336 @@
+"""Journal, checkpoint-manager, and resume semantics (crash-safe runtime)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faultinjection.campaign import FaultCampaign
+from repro.parallel import ArtifactCache
+from repro.pipeline.scaling import run_pipeline
+from repro.recovery import (
+    EVENT_BEGIN,
+    EVENT_COMMIT,
+    EVENT_RUN_END,
+    EVENT_RUN_START,
+    CheckpointManager,
+    JournalError,
+    RecoveryError,
+    RunJournal,
+    replay_journal,
+    tear_file,
+)
+from repro.recovery.checkpoint import open_run_journal
+
+
+class TestRunJournal:
+    def test_append_replay_roundtrip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, "r1") as journal:
+            journal.append(EVENT_RUN_START, meta={"config": "abc"})
+            journal.append(EVENT_BEGIN, stage="corpus", key="k1")
+            journal.append(EVENT_COMMIT, stage="corpus", key="k1", digest="d1")
+            journal.append(EVENT_RUN_END)
+        replay = replay_journal(path)
+        assert replay.run_id == "r1"
+        assert [e.event for e in replay.events] == [
+            EVENT_RUN_START, EVENT_BEGIN, EVENT_COMMIT, EVENT_RUN_END,
+        ]
+        assert [e.seq for e in replay.events] == [0, 1, 2, 3]
+        assert replay.dropped == 0
+        assert replay.completed
+        assert replay.committed()["corpus"].digest == "d1"
+        assert replay.run_config() == {"config": "abc"}
+
+    def test_seq_continues_across_reopen(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, "r1") as journal:
+            journal.append(EVENT_RUN_START)
+        with RunJournal(path, "r1") as journal:
+            entry = journal.append(EVENT_RUN_END)
+        assert entry.seq == 1
+        assert replay_journal(path).next_seq == 2
+
+    def test_unknown_event_rejected(self, tmp_path):
+        with RunJournal(tmp_path / "run.jsonl", "r1") as journal:
+            with pytest.raises(JournalError, match="unknown journal event"):
+                journal.append("checkpoint")
+
+    def test_append_after_close_rejected(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl", "r1")
+        journal.append(EVENT_RUN_START)
+        journal.close()
+        with pytest.raises(JournalError, match="closed"):
+            journal.append(EVENT_RUN_END)
+
+    def test_on_event_fires_after_durable_write(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        seen = []
+
+        def observer(event):
+            # The event must already be parseable from disk when the
+            # callback fires — this is what makes SIGKILL-at-event-k a
+            # deterministic crash model.
+            on_disk = [json.loads(line) for line in path.read_text().splitlines()]
+            seen.append((event.seq, on_disk[-1]["seq"]))
+
+        with RunJournal(path, "r1", on_event=observer) as journal:
+            journal.append(EVENT_RUN_START)
+            journal.append(EVENT_RUN_END)
+        assert seen == [(0, 0), (1, 1)]
+
+    def test_uncommitted_names_the_interrupted_stage(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, "r1") as journal:
+            journal.append(EVENT_RUN_START)
+            journal.append(EVENT_BEGIN, stage="corpus", key="k1")
+            journal.append(EVENT_COMMIT, stage="corpus", key="k1", digest="d1")
+            journal.append(EVENT_BEGIN, stage="tfidf", key="k2")
+        replay = replay_journal(path)
+        assert replay.uncommitted() == ["tfidf"]
+        assert not replay.completed
+
+
+class TestReplayCorruption:
+    def _journal(self, tmp_path, events=3):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, "r1") as journal:
+            journal.append(EVENT_RUN_START)
+            for index in range(events - 1):
+                journal.append(EVENT_BEGIN, stage=f"s{index}", key=f"k{index}")
+        return path
+
+    def test_torn_tail_dropped_silently(self, tmp_path):
+        path = self._journal(tmp_path)
+        tear_file(path, -7)  # mid-way through the final record
+        replay = replay_journal(path)
+        assert replay.dropped == 1
+        assert len(replay.events) == 2
+
+    def test_midfile_corruption_raises(self, tmp_path):
+        path = self._journal(tmp_path)
+        lines = path.read_text().splitlines(keepends=True)
+        lines[1] = lines[1][:20] + "\n"
+        path.write_text("".join(lines))
+        with pytest.raises(JournalError, match="corrupt journal record"):
+            replay_journal(path)
+
+    def test_checksum_mismatch_raises(self, tmp_path):
+        path = self._journal(tmp_path)
+        lines = path.read_text().splitlines(keepends=True)
+        record = json.loads(lines[1])
+        record["stage"] = "tampered"  # edit without re-deriving the check
+        lines[1] = json.dumps(record, sort_keys=True) + "\n"
+        path.write_text("".join(lines))
+        with pytest.raises(JournalError, match="corrupt journal record"):
+            replay_journal(path)
+
+    def test_sequence_gap_raises(self, tmp_path):
+        path = self._journal(tmp_path)
+        lines = path.read_text().splitlines(keepends=True)
+        del lines[1]
+        # Append a sentinel so the gap is not the (droppable) final line.
+        path.write_text("".join(lines))
+        with pytest.raises(JournalError, match="sequence gap"):
+            replay_journal(path)
+
+    def test_missing_journal_raises(self, tmp_path):
+        with pytest.raises(JournalError, match="does not exist"):
+            replay_journal(tmp_path / "absent.jsonl")
+
+    def test_fully_torn_journal_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("{half a rec")
+        with pytest.raises(JournalError, match="no intact records"):
+            replay_journal(path)
+
+
+class TestOpenRunJournal:
+    def test_fresh_refuses_existing_journal(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal, _ = open_run_journal(path, "r1", resume=False, config_digest="c")
+        journal.close()
+        with pytest.raises(RecoveryError, match="already exists"):
+            open_run_journal(path, "r1", resume=False, config_digest="c")
+
+    def test_resume_refuses_config_drift(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal, _ = open_run_journal(path, "r1", resume=False, config_digest="c1")
+        journal.close()
+        with pytest.raises(RecoveryError, match="different configuration"):
+            open_run_journal(path, "r1", resume=True, config_digest="c2")
+
+    def test_resume_returns_committed_map(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal, _ = open_run_journal(path, "r1", resume=False, config_digest="c")
+        journal.append(EVENT_BEGIN, stage="corpus", key="k1")
+        journal.append(EVENT_COMMIT, stage="corpus", key="k1", digest="d1")
+        journal.close()
+        journal, committed = open_run_journal(
+            path, "r1", resume=True, config_digest="c"
+        )
+        journal.close()
+        assert set(committed) == {"corpus"}
+        assert committed["corpus"].digest == "d1"
+
+
+class TestCheckpointManager:
+    def _manager(self, tmp_path, committed=None):
+        cache = ArtifactCache(tmp_path / "cache")
+        journal = RunJournal(tmp_path / "journal" / "run.jsonl", "r1")
+        journal.append(EVENT_RUN_START)
+        return cache, journal, CheckpointManager(
+            cache, journal, committed=committed
+        )
+
+    def test_compute_then_resume_skips(self, tmp_path):
+        cache, journal, manager = self._manager(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"acc": 0.96}
+
+        value, outcome = manager.run_stage("svm", "svm", {"seed": 1}, compute)
+        journal.close()
+        assert value == {"acc": 0.96}
+        assert not outcome.hit and not outcome.skipped
+        assert manager.computed_stages() == ["svm"]
+
+        replay = replay_journal(journal.path)
+        journal2 = RunJournal(journal.path, "r1")
+        manager2 = CheckpointManager(cache, journal2, committed=replay.committed())
+        value, outcome = manager2.run_stage("svm", "svm", {"seed": 1}, compute)
+        journal2.close()
+        assert value == {"acc": 0.96}
+        assert outcome.skipped
+        assert manager2.skipped_stages() == ["svm"]
+        assert len(calls) == 1
+
+    def test_corrupted_checkpoint_recomputes(self, tmp_path):
+        cache, journal, manager = self._manager(tmp_path)
+        manager.run_stage("svm", "svm", {"seed": 1}, lambda: "v1")
+        journal.close()
+        payload = cache.path_for("svm", {"seed": 1})
+        tear_file(payload, payload.stat().st_size // 2)
+
+        replay = replay_journal(journal.path)
+        journal2 = RunJournal(journal.path, "r1")
+        manager2 = CheckpointManager(cache, journal2, committed=replay.committed())
+        value, outcome = manager2.run_stage("svm", "svm", {"seed": 1}, lambda: "v2")
+        journal2.close()
+        assert value == "v2"
+        assert not outcome.skipped
+        assert cache.stats()["quarantined"] == 1
+
+    def test_warm_unjournaled_cache_adopted_as_commit(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        cache.put("svm", {"seed": 1}, "warm")
+        journal = RunJournal(tmp_path / "journal" / "run.jsonl", "r1")
+        journal.append(EVENT_RUN_START)
+        manager = CheckpointManager(cache, journal)
+        value, outcome = manager.peek("svm", "svm", {"seed": 1})
+        journal.close()
+        assert value == "warm"
+        assert outcome.hit and not outcome.skipped
+        committed = replay_journal(journal.path).committed()
+        assert "svm" in committed
+
+    def test_commit_digest_matches_cache(self, tmp_path):
+        cache, journal, manager = self._manager(tmp_path)
+        key = manager.begin("svm", "svm", {"seed": 1})
+        outcome = manager.commit_value("svm", "svm", {"seed": 1}, "value")
+        journal.close()
+        assert outcome.key == key
+        assert outcome.digest == cache.digest_of("svm", {"seed": 1})
+
+
+_PIPELINE_KW = dict(
+    seed=0, dimensions=("bug_type",), n_topics=2, nmf_restarts=2
+)
+
+
+class TestPipelineJournaling:
+    def test_journaled_run_requires_cache(self):
+        with pytest.raises(RecoveryError, match="require an artifact cache"):
+            run_pipeline(run_id="r1", cache=None, **_PIPELINE_KW)
+
+    def test_conflicting_run_ids_rejected(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with pytest.raises(RecoveryError, match="conflicting run ids"):
+            run_pipeline(run_id="a", resume="b", cache=cache, **_PIPELINE_KW)
+
+    def test_fresh_run_journal_shape(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        result = run_pipeline(cache=cache, run_id="r1", **_PIPELINE_KW)
+        assert result.run_id == "r1" and not result.resumed
+        replay = replay_journal(tmp_path / ".journal" / "r1.jsonl")
+        counts = replay.counts()
+        assert counts == {"run-start": 1, "begin": 4, "commit": 4, "run-end": 1}
+        assert replay.completed
+
+    def test_resume_completed_run_skips_everything(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        first = run_pipeline(cache=cache, run_id="r1", **_PIPELINE_KW)
+        second = run_pipeline(cache=cache, resume="r1", **_PIPELINE_KW)
+        assert second.resumed
+        assert sorted(second.skipped_stages) == sorted(
+            ["corpus", "tfidf", "nmf", "validate:bug_type"]
+        )
+        assert first.accuracies() == second.accuracies()
+        assert first.topics == second.topics
+        replay = replay_journal(tmp_path / ".journal" / "r1.jsonl")
+        assert replay.counts()["skip"] == 4
+
+    def test_resume_with_changed_config_refused(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        run_pipeline(cache=cache, run_id="r1", **_PIPELINE_KW)
+        changed = dict(_PIPELINE_KW, n_topics=3)
+        with pytest.raises(RecoveryError, match="different configuration"):
+            run_pipeline(cache=cache, resume="r1", **changed)
+
+    def test_same_run_id_twice_refused(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        run_pipeline(cache=cache, run_id="r1", **_PIPELINE_KW)
+        with pytest.raises(RecoveryError, match="already exists"):
+            run_pipeline(cache=cache, run_id="r1", **_PIPELINE_KW)
+
+
+class TestCampaignResume:
+    def test_truncated_journal_resumes_committed_specs_only(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        campaign = FaultCampaign(seeds_per_fault=2)
+        full = campaign.run(cache=cache, run_id="camp")
+        journal_path = tmp_path / "cache" / ".journal" / "camp.jsonl"
+
+        # Simulate a crash after the first two commits: drop the journal
+        # suffix (run-start + 2x begin/commit on interleaved waves of 1).
+        lines = journal_path.read_text().splitlines(keepends=True)
+        journal_path.write_text("".join(lines[:6]))
+        committed_before = set(replay_journal(journal_path).committed())
+
+        resumed = campaign.run(cache=cache, resume="camp")
+        assert set(f"spec:{fid}" for fid in resumed.skipped) == committed_before
+        assert [r.spec.fault_id for r in resumed.results] == [
+            r.spec.fault_id for r in full.results
+        ]
+        assert resumed.expectation_match_rate == full.expectation_match_rate
+
+    def test_resume_refuses_different_campaign(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        FaultCampaign(seeds_per_fault=2).run(cache=cache, run_id="camp")
+        with pytest.raises(RecoveryError, match="different configuration"):
+            FaultCampaign(seeds_per_fault=3).run(cache=cache, resume="camp")
+
+    def test_ab_campaign_resume_matches(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        campaign = FaultCampaign(seeds_per_fault=1)
+        first = campaign.run_ab(cache=cache, run_id="ab")
+        second = campaign.run_ab(cache=cache, resume="ab")
+        assert len(second.skipped) == len(campaign.catalog)
+        assert first.summary() == second.summary()
+
+    def test_journaled_campaign_requires_cache(self):
+        with pytest.raises(RecoveryError, match="require an artifact cache"):
+            FaultCampaign(seeds_per_fault=1).run(run_id="camp")
