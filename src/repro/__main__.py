@@ -10,6 +10,7 @@ inject       Execute the fault-injection campaign and the named case studies.
 chaos        Run a Chaos-Monkey fuzzing campaign.
 resilience   A/B fault campaign: bare scenarios vs the resilience runtime.
 adversary    Control-plane adversary: violate an invariant, minimize the trace.
+lint         Run sdnlint: taxonomy-mapped AST bug-pattern checks + smells.
 experiments  List every reproducible paper artifact and its bench.
 """
 
@@ -270,6 +271,75 @@ def _cmd_adversary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import pathlib
+
+    import repro
+    from repro.staticanalysis import (
+        Analyzer,
+        Severity,
+        apply_baseline,
+        load_baseline,
+        to_json,
+        to_text,
+        write_baseline,
+    )
+
+    paths = [pathlib.Path(p) for p in args.paths]
+    if not paths:
+        paths = [pathlib.Path(repro.__file__).parent]
+    report = Analyzer().run(paths)
+
+    baseline_path = (
+        None if args.baseline == "none" else pathlib.Path(args.baseline)
+    )
+    if args.write_baseline:
+        if baseline_path is None:
+            print("--write-baseline needs a baseline path, not 'none'",
+                  file=sys.stderr)
+            return 2
+        written = write_baseline(report, baseline_path)
+        print(f"baselined {written} finding(s) to {baseline_path}")
+        return 0
+    if baseline_path is not None:
+        report = apply_baseline(report, load_baseline(baseline_path))
+
+    rendered = to_json(report) if args.format == "json" else to_text(report)
+    print(rendered)
+    if args.output:
+        pathlib.Path(args.output).write_text(to_json(report) + "\n",
+                                             encoding="utf-8")
+
+    if args.smells or args.smell_kinds:
+        from repro.smells import SmellKind, analyze
+        from repro.staticanalysis import extract_code_model
+
+        kinds = (
+            [SmellKind(value) for value in args.smell_kinds]
+            if args.smell_kinds else None
+        )
+        model = extract_code_model(paths)
+        smell_report = analyze(model, kinds=kinds)
+        print()
+        rows = [
+            [inst.kind.value, inst.subject, inst.detail]
+            for inst in smell_report.instances
+        ] or [["-", "-", "no smells at current thresholds"]]
+        print(ascii_table(
+            ["smell", "subject", "detail"],
+            rows,
+            title=(f"Fig-8 smells over extracted model "
+                   f"({len(model.classes)} classes, "
+                   f"{len(model.packages)} packages)"),
+        ))
+
+    if args.fail_on == "never":
+        return 0
+    threshold = Severity.ERROR if args.fail_on == "error" else Severity.WARNING
+    failing = [f for f in report.active if f.severity >= threshold]
+    return 1 if failing else 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.reporting import EXPERIMENTS
 
@@ -364,6 +434,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="schedules for --ab mode")
     p.add_argument("--trace-out", help="write the minimized trace JSON here")
     p.set_defaults(fn=_cmd_adversary)
+
+    p = sub.add_parser(
+        "lint",
+        help="run sdnlint: taxonomy-mapped AST bug-pattern checks",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to scan (default: the repro package)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--output", help="also write the JSON report to this file")
+    p.add_argument("--baseline", default="lint-baseline.json",
+                   help="known-debt file; 'none' disables suppression")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="accept every current finding as debt and exit")
+    p.add_argument("--fail-on", choices=["error", "warning", "never"],
+                   default="error",
+                   help="exit 1 if any unsuppressed finding is at or above "
+                        "this severity")
+    p.add_argument("--smells", action="store_true",
+                   help="also extract a CodeModel and run the Fig-8 smell "
+                        "detectors over it")
+    p.add_argument("--smell-kinds", nargs="+",
+                   choices=["god_component", "unstable_dependency",
+                            "hub_like_modularization",
+                            "insufficient_modularization",
+                            "broken_hierarchy", "missing_hierarchy"],
+                   help="run only these smell detectors (implies --smells)")
+    p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser("experiments", help="list reproducible artifacts")
     p.set_defaults(fn=_cmd_experiments)

@@ -40,6 +40,10 @@ class VersionError(ReproError):
     """Unparseable version string or invalid version range."""
 
 
+class StaticAnalysisError(ReproError):
+    """sdnlint could not load or analyze a source path."""
+
+
 class SimulationError(ReproError):
     """Invalid simulator configuration or runtime misuse."""
 

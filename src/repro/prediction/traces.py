@@ -85,8 +85,13 @@ class TraceGenerator:
         return rng.gauss(0.0, scale)
 
     def generate(self, kind: CrashKind, index: int = 0) -> TelemetryTrace:
-        """One trace of the given kind (deterministic per (seed, index))."""
-        rng = random.Random((self.seed << 20) ^ (hash(kind.value) & 0xFFFF) ^ index)
+        """One trace of the given kind (deterministic per (seed, index)).
+
+        The stream is derived by *string* seeding (stable SHA-512 mixing),
+        never builtin ``hash()``, which is salted per process by
+        PYTHONHASHSEED and made traces differ across interpreter runs.
+        """
+        rng = random.Random(f"{self.seed}:{kind.value}:{index}")
         if kind is CrashKind.NONE:
             crash_time = None
             end = self.duration

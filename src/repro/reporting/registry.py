@@ -232,6 +232,14 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "benchmarks/bench_crash_recovery.py",
         ("repro.recovery", "repro.parallel", "repro.pipeline"),
     ),
+    Experiment(
+        "static-analysis",
+        "Table I as checks (extension)",
+        "sdnlint self-scan: taxonomy-mapped AST detectors over src/repro; "
+        "Fig-8 smells on the extracted CodeModel",
+        "benchmarks/bench_staticanalysis.py",
+        ("repro.staticanalysis", "repro.smells"),
+    ),
 )
 
 

@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Iterable
 
+from repro.errors import CodeModelError
 from repro.smells.metrics import (
     all_package_instabilities,
     class_fan_in,
@@ -89,17 +91,28 @@ class SmellReport:
         return [inst for inst in self.instances if inst.kind is kind]
 
 
-def analyze(model: CodeModel, thresholds: Thresholds | None = None) -> SmellReport:
-    """Run all six detectors over ``model``."""
+def analyze(
+    model: CodeModel,
+    thresholds: Thresholds | None = None,
+    *,
+    kinds: Iterable[SmellKind] | None = None,
+) -> SmellReport:
+    """Run smell detectors over ``model``.
+
+    ``kinds`` selects a subset of the six detectors (default: all), in the
+    canonical :class:`SmellKind` order regardless of the order given — so
+    a filtered report is always a sub-report of the full one.
+    """
     model.validate()
     t = thresholds or Thresholds()
+    selected = set(SmellKind) if kinds is None else set(kinds)
+    unknown = selected - set(SmellKind)
+    if unknown:
+        raise CodeModelError(f"unknown smell kinds: {sorted(map(repr, unknown))}")
     report = SmellReport(model_name=model.name, version=model.version)
-    _detect_god_components(model, t, report)
-    _detect_unstable_dependencies(model, t, report)
-    _detect_hubs(model, t, report)
-    _detect_insufficient_modularization(model, t, report)
-    _detect_broken_hierarchy(model, t, report)
-    _detect_missing_hierarchy(model, t, report)
+    for kind in SmellKind:
+        if kind in selected:
+            _DETECTORS[kind](model, t, report)
     return report
 
 
@@ -214,3 +227,13 @@ def _detect_missing_hierarchy(
                     detail=f"{switches} type-switch sites (polymorphism missing)",
                 )
             )
+
+
+_DETECTORS = {
+    SmellKind.GOD_COMPONENT: _detect_god_components,
+    SmellKind.UNSTABLE_DEPENDENCY: _detect_unstable_dependencies,
+    SmellKind.HUB_LIKE_MODULARIZATION: _detect_hubs,
+    SmellKind.INSUFFICIENT_MODULARIZATION: _detect_insufficient_modularization,
+    SmellKind.BROKEN_HIERARCHY: _detect_broken_hierarchy,
+    SmellKind.MISSING_HIERARCHY: _detect_missing_hierarchy,
+}

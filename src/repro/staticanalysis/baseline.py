@@ -1,0 +1,86 @@
+"""Baseline (known-debt) file: accept existing findings, gate new ones.
+
+A baseline entry pins ``(detector, path, line)``.  Matching findings are
+*suppressed* — still reported, still counted separately — so the CI gate
+can fail on new debt while the committed debt is paid down incrementally.
+The file is versioned JSON with sorted keys so diffs review cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import StaticAnalysisError
+from repro.staticanalysis.model import AnalysisReport, Finding
+
+_VERSION = 1
+
+
+def baseline_key(finding: Finding) -> tuple[str, str, int]:
+    return (finding.detector, finding.path, finding.line)
+
+
+def write_baseline(report: AnalysisReport, path: str | Path) -> int:
+    """Write every *active* finding in ``report`` as accepted debt.
+
+    Returns the number of entries written.  The write is atomic
+    (tmp sibling + fsync + rename): the baseline gates CI, so a torn
+    baseline must not be observable.
+    """
+    entries = [
+        {"detector": f.detector, "path": f.path, "line": f.line}
+        for f in sorted(report.active, key=Finding.sort_key)
+    ]
+    payload = json.dumps(
+        {"version": _VERSION, "entries": entries}, indent=2, sort_keys=True
+    )
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(payload + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+    return len(entries)
+
+
+def load_baseline(path: str | Path) -> set[tuple[str, str, int]]:
+    """Load baseline keys; a missing file is an empty baseline."""
+    target = Path(path)
+    if not target.exists():
+        return set()
+    try:
+        payload = json.loads(target.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StaticAnalysisError(f"unreadable baseline {target}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise StaticAnalysisError(
+            f"baseline {target}: unsupported format "
+            f"(expected version {_VERSION})"
+        )
+    keys: set[tuple[str, str, int]] = set()
+    for entry in payload.get("entries", ()):
+        try:
+            keys.add((entry["detector"], entry["path"], int(entry["line"])))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StaticAnalysisError(
+                f"baseline {target}: malformed entry {entry!r}"
+            ) from exc
+    return keys
+
+
+def apply_baseline(
+    report: AnalysisReport, baseline: set[tuple[str, str, int]]
+) -> AnalysisReport:
+    """Mark findings matching ``baseline`` as suppressed (new report)."""
+    findings = [
+        f.suppress() if baseline_key(f) in baseline else f
+        for f in report.findings
+    ]
+    return AnalysisReport(
+        root=report.root,
+        findings=findings,
+        modules_scanned=report.modules_scanned,
+    )

@@ -1,0 +1,443 @@
+"""Concurrency detectors (paper: concurrency root cause, Table I).
+
+The study files concurrency under controller-logic root causes and notes
+its bugs are disproportionately non-deterministic — which is why they are
+the right target for *static* analysis: the schedule that triggers them
+may never appear in tests.
+
+* ``lock-order-cycle`` — builds a lock-order graph from lexically nested
+  ``with <lock>:`` acquisitions across every scanned module and reports
+  each strongly connected component (a potential ABBA deadlock).
+* ``unlocked-shared-write`` — a function submitted to a ``WorkPool`` /
+  executor / ``threading.Thread`` that mutates module-global or
+  ``global``-declared state outside any ``with <lock>:`` block.  WorkPool
+  tasks are contractually pure (see :mod:`repro.parallel.executor`); a
+  shared-state write is how that contract silently regresses.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.staticanalysis.checks.base import AnalysisContext, Detector
+from repro.staticanalysis.loader import ModuleInfo
+from repro.staticanalysis.model import Finding, Severity
+from repro.taxonomy import BugType, RootCause
+
+_LOCK_CONSTRUCTORS = {
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+    "multiprocessing.Lock", "multiprocessing.RLock",
+}
+
+_LOCKISH_SEGMENTS = ("lock", "mutex", "semaphore", "cond")
+
+_POOL_CONSTRUCTORS = (
+    "WorkPool", "ThreadPoolExecutor", "ProcessPoolExecutor", "Pool",
+)
+
+_SUBMIT_METHODS = {"map", "starmap", "submit", "apply_async", "imap"}
+
+_MUTATORS = {
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "remove", "discard", "clear", "appendleft",
+}
+
+
+def _segment_is_lockish(name: str) -> bool:
+    lowered = name.lower()
+    return any(tag in lowered for tag in _LOCKISH_SEGMENTS)
+
+
+@dataclass
+class _Acquisition:
+    """One ``with <lock>`` site."""
+
+    identity: str  # canonical lock identity, e.g. "mod.Class._lock"
+    module: ModuleInfo
+    node: ast.AST
+
+
+@dataclass
+class _LockNames:
+    """Per-module registry of names known to be bound to lock objects."""
+
+    module_level: set[str] = field(default_factory=set)
+    #: class name -> attribute names assigned a Lock() in any method.
+    class_attrs: dict[str, set[str]] = field(default_factory=dict)
+
+
+def _collect_lock_names(module: ModuleInfo) -> _LockNames:
+    names = _LockNames()
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign) and _is_lock_ctor(node.value, module):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.module_level.add(target.id)
+        elif isinstance(node, ast.ClassDef):
+            attrs: set[str] = set()
+            for item in ast.walk(node):
+                if isinstance(item, ast.Assign) and _is_lock_ctor(item.value, module):
+                    for target in item.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            attrs.add(target.attr)
+                        elif isinstance(target, ast.Name):
+                            attrs.add(target.id)
+            if attrs:
+                names.class_attrs[node.name] = attrs
+    return names
+
+
+def _is_lock_ctor(value: ast.AST, module: ModuleInfo) -> bool:
+    return (
+        isinstance(value, ast.Call)
+        and module.resolve(value.func) in _LOCK_CONSTRUCTORS
+    )
+
+
+def _lock_identity(
+    expr: ast.AST,
+    module: ModuleInfo,
+    lock_names: _LockNames,
+    class_name: str | None,
+) -> str | None:
+    """Canonical identity if ``expr`` looks like a lock acquisition."""
+    if isinstance(expr, ast.Name):
+        known = expr.id in lock_names.module_level
+        if known or _segment_is_lockish(expr.id):
+            resolved = module.resolve(expr)
+            if resolved and "." in resolved:  # imported lock: fq already
+                return resolved
+            return f"{module.name}.{expr.id}"
+        return None
+    if isinstance(expr, ast.Attribute):
+        base = expr.value
+        if isinstance(base, ast.Name) and base.id == "self" and class_name:
+            attrs = lock_names.class_attrs.get(class_name, set())
+            if expr.attr in attrs or _segment_is_lockish(expr.attr):
+                return f"{module.name}.{class_name}.{expr.attr}"
+            return None
+        if _segment_is_lockish(expr.attr):
+            resolved = module.resolve(expr)
+            return resolved or f"{module.name}.<expr>.{expr.attr}"
+    return None
+
+
+class LockOrderCycleDetector(Detector):
+    id = "lock-order-cycle"
+    family = "concurrency"
+    description = "cyclic lock-acquisition order across with-blocks (ABBA)"
+    severity = Severity.ERROR
+    bug_type = BugType.NON_DETERMINISTIC
+    root_cause = RootCause.CONCURRENCY
+
+    def __init__(self) -> None:
+        #: (outer, inner) -> first acquisition site for the edge.
+        self._edges: dict[tuple[str, str], _Acquisition] = {}
+
+    def check_module(
+        self, module: ModuleInfo, ctx: AnalysisContext
+    ) -> Iterator[Finding]:
+        lock_names = _collect_lock_names(module)
+        self._walk(module.tree.body, module, lock_names, None, [])
+        return iter(())
+
+    def _walk(
+        self,
+        body: list[ast.stmt],
+        module: ModuleInfo,
+        lock_names: _LockNames,
+        class_name: str | None,
+        held: list[str],
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                self._walk(stmt.body, module, lock_names, stmt.name, [])
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # A nested def does not run under the enclosing with.
+                self._walk(stmt.body, module, lock_names, class_name, [])
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                acquired: list[str] = []
+                for item in stmt.items:
+                    identity = _lock_identity(
+                        item.context_expr, module, lock_names, class_name
+                    )
+                    if identity is None:
+                        continue
+                    for outer in held + acquired:
+                        if outer != identity:
+                            edge = (outer, identity)
+                            self._edges.setdefault(
+                                edge, _Acquisition(identity, module, stmt)
+                            )
+                    acquired.append(identity)
+                self._walk(
+                    stmt.body, module, lock_names, class_name, held + acquired
+                )
+            else:
+                for child_body in _stmt_bodies(stmt):
+                    self._walk(child_body, module, lock_names, class_name, held)
+
+    def finalize(self, ctx: AnalysisContext) -> Iterator[Finding]:
+        graph: dict[str, set[str]] = {}
+        for outer, inner in self._edges:
+            graph.setdefault(outer, set()).add(inner)
+            graph.setdefault(inner, set())
+        for cycle in _find_cycles(graph):
+            # Anchor at the first edge of the cycle, in deterministic order.
+            first_edge = (cycle[0], cycle[1 % len(cycle)])
+            site = self._edges.get(first_edge)
+            if site is None:  # pragma: no cover - defensive
+                continue
+            path = " -> ".join(cycle + [cycle[0]])
+            found = self.finding(
+                site.module, ctx, site.node,
+                f"lock-order cycle {path}: these locks are acquired in "
+                "conflicting orders; impose a global acquisition order",
+            )
+            if found is not None:
+                yield found
+        self._edges = {}
+
+    def describe_edges(self) -> dict[tuple[str, str], str]:
+        """Expose the current edge set (used by tests and the bench)."""
+        return {
+            edge: f"{acq.module.name}:{getattr(acq.node, 'lineno', 0)}"
+            for edge, acq in self._edges.items()
+        }
+
+
+def _stmt_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    bodies: list[list[ast.stmt]] = []
+    for attr in ("body", "orelse", "finalbody"):
+        value = getattr(stmt, attr, None)
+        if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+            bodies.append(value)
+    if isinstance(stmt, ast.Try):
+        for handler in stmt.handlers:
+            bodies.append(handler.body)
+    return bodies
+
+
+def _find_cycles(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Strongly connected components with >1 node (or a self-loop),
+    each returned as a deterministically ordered node list."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    sccs: list[list[str]] = []
+
+    def strongconnect(node: str) -> None:
+        index[node] = lowlink[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for succ in sorted(graph.get(node, ())):
+            if succ not in index:
+                strongconnect(succ)
+                lowlink[node] = min(lowlink[node], lowlink[succ])
+            elif succ in on_stack:
+                lowlink[node] = min(lowlink[node], index[succ])
+        if lowlink[node] == index[node]:
+            component: list[str] = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.append(member)
+                if member == node:
+                    break
+            if len(component) > 1 or node in graph.get(node, ()):
+                sccs.append(sorted(component))
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    return sorted(sccs)
+
+
+class UnlockedSharedWriteDetector(Detector):
+    id = "unlocked-shared-write"
+    family = "concurrency"
+    description = "pool/thread task mutating shared state without a lock"
+    severity = Severity.WARNING
+    bug_type = BugType.NON_DETERMINISTIC
+    root_cause = RootCause.CONCURRENCY
+
+    def check_module(
+        self, module: ModuleInfo, ctx: AnalysisContext
+    ) -> Iterator[Finding]:
+        pool_names = self._pool_names(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            task_ref = self._task_reference(node, module, pool_names)
+            if task_ref is None:
+                continue
+            resolved = ctx.resolve_function(module, task_ref)
+            if resolved is None:
+                continue
+            task_module, task_def = resolved
+            yield from self._check_task(task_module, task_def, ctx)
+
+    @staticmethod
+    def _pool_names(module: ModuleInfo) -> set[str]:
+        """Names assigned from a pool/executor constructor in this module."""
+        names: set[str] = set()
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            value = node.value
+            if (
+                isinstance(value, ast.Call)
+                and (qual := module.resolve(value.func)) is not None
+                and qual.split(".")[-1] in _POOL_CONSTRUCTORS
+            ):
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+                elif (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    names.add(target.attr)
+        return names
+
+    def _task_reference(
+        self, call: ast.Call, module: ModuleInfo, pool_names: set[str]
+    ) -> ast.AST | None:
+        """The function expression submitted as a task, if this is a submit."""
+        func = call.func
+        # threading.Thread(target=fn) / multiprocessing.Process(target=fn)
+        if module.resolve(func) in ("threading.Thread", "multiprocessing.Process"):
+            for keyword in call.keywords:
+                if keyword.arg == "target":
+                    return keyword.value
+            return None
+        if not (isinstance(func, ast.Attribute) and func.attr in _SUBMIT_METHODS):
+            return None
+        receiver = func.value
+        is_pool = False
+        if isinstance(receiver, ast.Call):
+            qual = module.resolve(receiver.func)
+            is_pool = (
+                qual is not None and qual.split(".")[-1] in _POOL_CONSTRUCTORS
+            )
+        elif isinstance(receiver, ast.Name):
+            is_pool = receiver.id in pool_names or "pool" in receiver.id.lower()
+        elif isinstance(receiver, ast.Attribute):
+            is_pool = (
+                receiver.attr in pool_names or "pool" in receiver.attr.lower()
+            )
+        if not is_pool or not call.args:
+            return None
+        return call.args[0]
+
+    def _check_task(
+        self, module: ModuleInfo, task: ast.AST, ctx: AnalysisContext
+    ) -> Iterator[Finding]:
+        module_globals = _module_level_names(module)
+        declared_global: set[str] = set()
+        for node in ast.walk(task):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+        lock_names = _collect_lock_names(module)
+        yield from self._scan_body(
+            getattr(task, "body", []), module, ctx,
+            module_globals | declared_global, declared_global, lock_names,
+            under_lock=False,
+        )
+
+    def _scan_body(
+        self,
+        body: list[ast.stmt],
+        module: ModuleInfo,
+        ctx: AnalysisContext,
+        shared: set[str],
+        rebindable: set[str],
+        lock_names: _LockNames,
+        *,
+        under_lock: bool,
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                locked = under_lock or any(
+                    _lock_identity(item.context_expr, module, lock_names, None)
+                    for item in stmt.items
+                )
+                yield from self._scan_body(
+                    stmt.body, module, ctx, shared, rebindable, lock_names,
+                    under_lock=locked,
+                )
+                continue
+            if not under_lock:
+                mutated = _shared_mutation(stmt, shared, rebindable)
+                if mutated is not None:
+                    found = self.finding(
+                        module, ctx, stmt,
+                        f"task mutates shared state {mutated!r} without "
+                        "holding a lock; WorkPool tasks must be pure "
+                        "functions of their arguments",
+                    )
+                    if found is not None:
+                        yield found
+            for child_body in _stmt_bodies(stmt):
+                yield from self._scan_body(
+                    child_body, module, ctx, shared, rebindable, lock_names,
+                    under_lock=under_lock,
+                )
+
+
+def _module_level_names(module: ModuleInfo) -> set[str]:
+    """Top-level names bound to mutable-looking containers."""
+    names: set[str] = set()
+    for node in module.tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _shared_mutation(
+    stmt: ast.stmt, shared: set[str], rebindable: set[str]
+) -> str | None:
+    """Name of the shared object this statement mutates, if any.
+
+    In-place mutations (method calls, subscript stores) count against any
+    module-level name; *rebinding* a bare name only counts when it was
+    declared ``global`` — otherwise the assignment creates a local.
+    """
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            receiver = node.func.value
+            if (
+                node.func.attr in _MUTATORS
+                and isinstance(receiver, ast.Name)
+                and receiver.id in shared
+            ):
+                return receiver.id
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    base = target.value
+                    if isinstance(base, ast.Name) and base.id in shared:
+                        return base.id
+                elif isinstance(target, ast.Name) and target.id in rebindable:
+                    return target.id
+    return None

@@ -1,0 +1,47 @@
+"""Text and JSON rendering for sdnlint reports."""
+
+from __future__ import annotations
+
+import json
+
+from repro.staticanalysis.model import AnalysisReport, Severity
+
+_SEVERITY_TAG = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "info",
+}
+
+
+def to_text(report: AnalysisReport, *, show_suppressed: bool = False) -> str:
+    """GCC-style one-line-per-finding rendering plus a summary block."""
+    lines: list[str] = []
+    for finding in report.findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        marker = " [baseline]" if finding.suppressed else ""
+        lines.append(
+            f"{finding.location}: {_SEVERITY_TAG[finding.severity]}: "
+            f"{finding.message} "
+            f"[{finding.detector}; root_cause={finding.root_cause.value}, "
+            f"bug_type={finding.bug_type.value}]{marker}"
+        )
+    counts = report.counts_by_severity()
+    lines.append(
+        f"sdnlint: {report.modules_scanned} module(s) scanned, "
+        f"{counts['error']} error(s), {counts['warning']} warning(s), "
+        f"{counts['info']} info, {len(report.suppressed)} baselined"
+    )
+    by_detector = report.counts_by_detector()
+    if by_detector:
+        parts = ", ".join(f"{det}={n}" for det, n in by_detector.items())
+        lines.append(f"by detector: {parts}")
+    by_cause = report.counts_by_root_cause()
+    if by_cause:
+        parts = ", ".join(f"{cause}={n}" for cause, n in by_cause.items())
+        lines.append(f"by Table-I root cause: {parts}")
+    return "\n".join(lines)
+
+
+def to_json(report: AnalysisReport, *, indent: int = 2) -> str:
+    return json.dumps(report.to_dict(), indent=indent, sort_keys=True)

@@ -1,0 +1,8 @@
+"""Fixture: concrete exception types only (bare-except silent)."""
+
+
+def load(parse, path):
+    try:
+        return parse(path)
+    except (OSError, ValueError):
+        return None

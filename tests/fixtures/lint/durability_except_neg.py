@@ -1,0 +1,15 @@
+"""Fixture: durability failures propagate (durability-except silent)."""
+
+import os
+
+
+def commit(tmp, final, data, record):
+    try:
+        with open(tmp, "w") as handle:
+            handle.write(data)
+            os.fsync(handle.fileno())
+        os.replace(tmp, final)
+    except OSError as exc:
+        record(exc)
+        raise
+    return True

@@ -1,0 +1,14 @@
+"""Fixture: a masked fsync/replace failure (durability-except fires)."""
+
+import os
+
+
+def commit(tmp, final, data):
+    try:
+        with open(tmp, "w") as handle:
+            handle.write(data)
+            os.fsync(handle.fileno())
+        os.replace(tmp, final)
+    except OSError:
+        return False
+    return True

@@ -1,0 +1,13 @@
+"""Fixture: stable string seeding, no builtin hash() (hash-seed silent)."""
+
+import hashlib
+import random
+
+
+def rng_for(name, base):
+    return random.Random(f"{base}:{name}")
+
+
+def derive(name):
+    seed = int.from_bytes(hashlib.sha256(name.encode()).digest()[:4], "big")
+    return seed

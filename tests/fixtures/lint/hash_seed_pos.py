@@ -1,0 +1,12 @@
+"""Fixture: builtin hash() feeds an RNG seed (hash-seed fires)."""
+
+import random
+
+
+def rng_for(name, base):
+    return random.Random(hash(name) ^ base)
+
+
+def derive(name):
+    seed = hash(name) & 0xFFFF
+    return seed

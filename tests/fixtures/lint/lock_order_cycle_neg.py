@@ -1,0 +1,18 @@
+"""Fixture: a global acquisition order is respected (silent)."""
+
+import threading
+
+lock_a = threading.Lock()
+lock_b = threading.Lock()
+
+
+def forward(work):
+    with lock_a:
+        with lock_b:
+            work()
+
+
+def also_forward(work):
+    with lock_a:
+        with lock_b:
+            work()

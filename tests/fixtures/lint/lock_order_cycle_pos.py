@@ -1,0 +1,19 @@
+"""Fixture: two functions acquire the same locks in opposite orders
+(lock-order-cycle fires: classic ABBA deadlock)."""
+
+import threading
+
+lock_a = threading.Lock()
+lock_b = threading.Lock()
+
+
+def forward(work):
+    with lock_a:
+        with lock_b:
+            work()
+
+
+def backward(work):
+    with lock_b:
+        with lock_a:
+            work()

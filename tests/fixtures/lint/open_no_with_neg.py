@@ -1,0 +1,18 @@
+"""Fixture: handles are managed by with, close, or ownership (silent)."""
+
+
+def read_config(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def read_then_close(path):
+    handle = open(path)
+    data = handle.read()
+    handle.close()
+    return data
+
+
+class Journal:
+    def __init__(self, path):
+        self.handle = open(path, "a")

@@ -1,0 +1,7 @@
+"""Fixture: open() with no with/close/return (open-no-with fires)."""
+
+
+def read_config(path):
+    handle = open(path)
+    data = handle.read()
+    return data

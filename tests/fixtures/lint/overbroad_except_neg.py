@@ -1,0 +1,9 @@
+"""Fixture: except Exception that re-raises (overbroad-except silent)."""
+
+
+def guard(fn, record):
+    try:
+        return fn()
+    except Exception as exc:
+        record(exc)
+        raise

@@ -1,0 +1,9 @@
+"""Fixture: except Exception with no re-raise (overbroad-except fires)."""
+
+
+def guard(fn, record):
+    try:
+        return fn()
+    except Exception as exc:
+        record(exc)
+        return None

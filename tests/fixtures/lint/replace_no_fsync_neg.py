@@ -1,0 +1,11 @@
+"""Fixture: the write is fsynced before the rename publishes it (silent)."""
+
+import os
+
+
+def publish(tmp, final, data):
+    with open(tmp, "w") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, final)

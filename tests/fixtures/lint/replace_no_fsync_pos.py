@@ -1,0 +1,9 @@
+"""Fixture: write then rename without fsync (replace-no-fsync fires)."""
+
+import os
+
+
+def publish(tmp, final, data):
+    with open(tmp, "w") as handle:
+        handle.write(data)
+    os.replace(tmp, final)

@@ -1,0 +1,8 @@
+"""Fixture: the failure is at least recorded (swallowed-exception silent)."""
+
+
+def close_quietly(handle, record):
+    try:
+        handle.close()
+    except OSError as exc:
+        record(exc)

@@ -1,0 +1,8 @@
+"""Fixture: handler body is only pass (swallowed-exception fires)."""
+
+
+def close_quietly(handle):
+    try:
+        handle.close()
+    except OSError:
+        pass

@@ -1,0 +1,17 @@
+"""Fixture: the shared write happens under a lock (silent)."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+counts = {}
+counts_lock = threading.Lock()
+
+
+def tally(item):
+    with counts_lock:
+        counts[item] = counts.get(item, 0) + 1
+
+
+def run(items):
+    pool = ThreadPoolExecutor(max_workers=4)
+    pool.map(tally, items)

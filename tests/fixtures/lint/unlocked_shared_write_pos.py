@@ -1,0 +1,15 @@
+"""Fixture: a pool task mutates module state without a lock
+(unlocked-shared-write fires)."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+counts = {}
+
+
+def tally(item):
+    counts[item] = counts.get(item, 0) + 1
+
+
+def run(items):
+    pool = ThreadPoolExecutor(max_workers=4)
+    pool.map(tally, items)

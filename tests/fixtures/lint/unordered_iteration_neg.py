@@ -1,0 +1,15 @@
+"""Fixture: sets are sorted before ordering matters (silent)."""
+
+
+def labels(items):
+    names = {item.name for item in items}
+    return sorted(names)
+
+
+def joined(values):
+    return ",".join(sorted({str(v) for v in values}))
+
+
+def contains(needle, items):
+    haystack = {item.name for item in items}
+    return needle in haystack

@@ -1,0 +1,17 @@
+"""Fixture: set iteration leaks hash order (unordered-iteration fires)."""
+
+
+def labels(items):
+    names = {item.name for item in items}
+    return list(names)
+
+
+def joined(values):
+    return ",".join({str(v) for v in values})
+
+
+def accumulate(seen):
+    out = []
+    for entry in seen:
+        out.append(entry)
+    return out

@@ -1,0 +1,15 @@
+"""Fixture: every stream is explicitly seeded (unseeded-random silent)."""
+
+import random
+
+import numpy
+
+
+def pick(items, seed):
+    rng = random.Random(seed)
+    return rng.choice(items)
+
+
+def noise(seed):
+    rng = numpy.random.default_rng(seed)
+    return rng.normal()

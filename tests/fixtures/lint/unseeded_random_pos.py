@@ -1,0 +1,17 @@
+"""Fixture: draws from the process-global RNG (unseeded-random fires)."""
+
+import random
+
+import numpy
+
+
+def pick(items):
+    return random.choice(items)
+
+
+def noise():
+    return numpy.random.normal()
+
+
+def make_rng():
+    return random.Random()

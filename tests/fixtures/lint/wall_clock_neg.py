@@ -1,0 +1,13 @@
+"""Fixture: time comes from inputs or perf_counter (wall-clock silent)."""
+
+import time
+
+
+def stamp(clock):
+    return clock.now()
+
+
+def measure(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

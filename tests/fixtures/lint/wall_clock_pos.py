@@ -1,0 +1,12 @@
+"""Fixture: reads the wall clock (wall-clock fires)."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def today_label():
+    return datetime.now().isoformat()

@@ -70,3 +70,56 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Adversarial A/B" in out
         assert "violating subjects" in out
+
+    def test_lint_clean_fixture_exits_zero(self, tmp_path, capsys):
+        src = tmp_path / "clean.py"
+        src.write_text("import random\n\nrng = random.Random(7)\n")
+        report_path = tmp_path / "report.json"
+        assert main(["lint", str(src), "--baseline", "none",
+                     "--output", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+        assert report_path.exists()
+
+    def test_lint_fails_on_errors(self, tmp_path, capsys):
+        src = tmp_path / "dirty.py"
+        src.write_text("import random\n\nvalue = random.random()\n")
+        assert main(["lint", str(src), "--baseline", "none"]) == 1
+        out = capsys.readouterr().out
+        assert "unseeded-random" in out
+        assert main(["lint", str(src), "--baseline", "none",
+                     "--fail-on", "never"]) == 0
+
+    def test_lint_json_format(self, tmp_path, capsys):
+        import json
+
+        src = tmp_path / "dirty.py"
+        src.write_text("import time\n\nstamp = time.time()\n")
+        assert main(["lint", str(src), "--baseline", "none",
+                     "--format", "json", "--fail-on", "never"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["detector"] == "wall-clock"
+
+    def test_lint_write_then_apply_baseline(self, tmp_path, capsys):
+        src = tmp_path / "dirty.py"
+        src.write_text("import random\n\nvalue = random.random()\n")
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(src), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(src), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_lint_smell_kinds(self, capsys):
+        import pathlib
+
+        import repro
+
+        target = pathlib.Path(repro.__file__).parent / "sdnsim"
+        assert main(["lint", str(target), "--baseline", "none",
+                     "--fail-on", "never",
+                     "--smell-kinds", "god_component"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig-8 smells over extracted model" in out
+        assert "god_component" in out

@@ -102,6 +102,39 @@ class TestMetrics:
         assert package_instability(m, "solo") == 1.0
 
 
+class TestKindsFilter:
+    def test_default_runs_all(self, model):
+        assert analyze(model).counts().keys() == set(SmellKind)
+
+    def test_subset_runs_only_selected(self):
+        m = CodeModel("demo", "1.0")
+        for i in range(40):
+            m.add_class(small_class(f"big.C{i}", "big", loc=2_000))
+        full = analyze(m)
+        assert full.count(SmellKind.GOD_COMPONENT) == 1
+        assert full.count(SmellKind.INSUFFICIENT_MODULARIZATION) == 40
+        only_god = analyze(m, kinds=[SmellKind.GOD_COMPONENT])
+        assert {i.kind for i in only_god.instances} == {SmellKind.GOD_COMPONENT}
+        assert only_god.count(SmellKind.GOD_COMPONENT) == 1
+
+    def test_order_is_canonical_not_given(self):
+        m = CodeModel("demo", "1.0")
+        for i in range(40):
+            m.add_class(small_class(f"big.C{i}", "big", loc=2_000))
+        shuffled = analyze(
+            m,
+            kinds=[SmellKind.INSUFFICIENT_MODULARIZATION, SmellKind.GOD_COMPONENT],
+        )
+        assert shuffled.instances[0].kind is SmellKind.GOD_COMPONENT
+
+    def test_empty_kinds_runs_nothing(self, model):
+        assert analyze(model, kinds=[]).instances == []
+
+    def test_unknown_kind_rejected(self, model):
+        with pytest.raises(CodeModelError):
+            analyze(model, kinds=["god_component"])  # strings are not kinds
+
+
 class TestDetectors:
     def test_god_component_by_class_count(self):
         m = CodeModel("demo", "1.0")

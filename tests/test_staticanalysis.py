@@ -1,0 +1,272 @@
+"""sdnlint: detectors, baseline, reporters, extraction, and the self-scan."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.errors import StaticAnalysisError
+from repro.smells import SmellKind, analyze
+from repro.staticanalysis import (
+    DETECTOR_TYPES,
+    Analyzer,
+    Severity,
+    apply_baseline,
+    detector_ids,
+    extract_code_model,
+    load_baseline,
+    load_module,
+    run_lint,
+    to_json,
+    to_text,
+    write_baseline,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+#: detector id -> fixture basename stem.
+_ALL_IDS = sorted(detector_ids())
+
+
+def _fixture(detector_id: str, kind: str) -> Path:
+    path = FIXTURES / f"{detector_id.replace('-', '_')}_{kind}.py"
+    assert path.exists(), f"missing fixture {path}"
+    return path
+
+
+def _run_single(detector_id: str, *paths: Path):
+    detector_type = next(t for t in DETECTOR_TYPES if t.id == detector_id)
+    return run_lint(paths, detectors=[detector_type()], root=FIXTURES)
+
+
+class TestFixturePairs:
+    @pytest.mark.parametrize("detector_id", _ALL_IDS)
+    def test_positive_fixture_fires(self, detector_id):
+        report = _run_single(detector_id, _fixture(detector_id, "pos"))
+        hits = [f for f in report.active if f.detector == detector_id]
+        assert hits, f"{detector_id} silent on its positive fixture"
+        for finding in hits:
+            assert finding.line > 0
+            assert finding.severity in (Severity.ERROR, Severity.WARNING)
+
+    @pytest.mark.parametrize("detector_id", _ALL_IDS)
+    def test_negative_fixture_silent(self, detector_id):
+        report = _run_single(detector_id, _fixture(detector_id, "neg"))
+        hits = [f for f in report.active if f.detector == detector_id]
+        assert not hits, f"{detector_id} false positive(s): {hits}"
+
+    def test_every_detector_has_both_fixtures(self):
+        for detector_id in _ALL_IDS:
+            _fixture(detector_id, "pos")
+            _fixture(detector_id, "neg")
+
+
+class TestLockOrderCycle:
+    def test_cross_module_cycle(self, tmp_path):
+        (tmp_path / "one.py").write_text(textwrap.dedent("""\
+            import threading
+            alpha_lock = threading.Lock()
+            beta_lock = threading.Lock()
+
+            def forward(work):
+                with alpha_lock:
+                    with beta_lock:
+                        work()
+            """))
+        (tmp_path / "two.py").write_text(textwrap.dedent("""\
+            import threading
+            alpha_lock = threading.Lock()
+            beta_lock = threading.Lock()
+
+            def backward(work):
+                with beta_lock:
+                    with alpha_lock:
+                        work()
+            """))
+        # Same-named module-level locks stay module-qualified, so these two
+        # files alone do not share identities; a cycle needs shared locks.
+        report = run_lint([tmp_path], root=tmp_path)
+        assert not [f for f in report.active if f.detector == "lock-order-cycle"]
+
+        (tmp_path / "three.py").write_text(textwrap.dedent("""\
+            from one import alpha_lock, beta_lock
+
+            def backward(work):
+                with beta_lock:
+                    with alpha_lock:
+                        work()
+            """))
+        report = run_lint([tmp_path], root=tmp_path)
+        hits = [f for f in report.active if f.detector == "lock-order-cycle"]
+        assert hits
+        assert "conflicting orders" in hits[0].message
+
+    def test_multi_item_with_orders_left_to_right(self, tmp_path):
+        (tmp_path / "abba.py").write_text(textwrap.dedent("""\
+            import threading
+            first_lock = threading.Lock()
+            second_lock = threading.Lock()
+
+            def one(work):
+                with first_lock, second_lock:
+                    work()
+
+            def two(work):
+                with second_lock, first_lock:
+                    work()
+            """))
+        report = run_lint([tmp_path], root=tmp_path)
+        assert [f for f in report.active if f.detector == "lock-order-cycle"]
+
+
+class TestSuppression:
+    def test_inline_disable(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text(
+            "import random\n"
+            "a = random.random()  # sdnlint: disable=unseeded-random\n"
+            "b = random.random()\n"
+        )
+        report = run_lint([src], root=tmp_path)
+        lines = [f.line for f in report.active if f.detector == "unseeded-random"]
+        assert lines == [3]
+
+    def test_inline_disable_all(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text(
+            "import random\n"
+            "a = random.random()  # sdnlint: disable-all\n"
+        )
+        report = run_lint([src], root=tmp_path)
+        assert not report.active
+
+
+class TestBaseline:
+    def test_round_trip_suppresses_exact_matches(self, tmp_path):
+        report = _run_single("unseeded-random", _fixture("unseeded-random", "pos"))
+        assert report.active
+        baseline_path = tmp_path / "baseline.json"
+        written = write_baseline(report, baseline_path)
+        assert written == len(report.active)
+
+        suppressed = apply_baseline(report, load_baseline(baseline_path))
+        assert not suppressed.active
+        assert len(suppressed.suppressed) == written
+        # A shifted finding (new line) is NOT covered by the baseline.
+        keys = load_baseline(baseline_path)
+        moved = {(d, p, line + 1) for d, p, line in keys}
+        still_active = apply_baseline(report, moved)
+        assert len(still_active.active) == len(report.active)
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == set()
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"version": 99}')
+        with pytest.raises(StaticAnalysisError):
+            load_baseline(bad)
+
+    def test_committed_baseline_matches_current_warnings(self):
+        """The committed lint-baseline.json must stay in sync with the tree."""
+        repo_root = Path(repro.__file__).resolve().parents[2]
+        baseline_path = repo_root / "lint-baseline.json"
+        assert baseline_path.exists()
+        report = run_lint([Path(repro.__file__).parent], root=repo_root)
+        report = apply_baseline(report, load_baseline(baseline_path))
+        stale = [f for f in report.active if f.severity >= Severity.WARNING]
+        assert not stale, f"unbaselined findings: {[f.location for f in stale]}"
+
+
+class TestReporters:
+    def test_text_report(self):
+        report = _run_single("wall-clock", _fixture("wall-clock", "pos"))
+        text = to_text(report)
+        assert "wall_clock_pos.py" in text
+        assert "error:" in text
+        assert "root_cause=ecosystem_system_call" in text
+        assert "module(s) scanned" in text
+
+    def test_json_report(self):
+        report = _run_single("bare-except", _fixture("bare-except", "pos"))
+        payload = json.loads(to_json(report))
+        assert payload["modules_scanned"] == 1
+        (finding,) = payload["findings"]
+        assert finding["detector"] == "bare-except"
+        assert finding["severity"] == "error"
+        assert finding["root_cause"] == "missing_logic"
+        assert finding["bug_type"] == "deterministic"
+
+    def test_syntax_error_is_analysis_error(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def (:\n")
+        with pytest.raises(StaticAnalysisError):
+            load_module(bad)
+
+
+class TestSelfScan:
+    """The repo gates itself: src/repro must stay clean at error severity."""
+
+    def test_src_repro_has_no_errors(self):
+        package_root = Path(repro.__file__).parent
+        report = run_lint([package_root], root=package_root.parents[1])
+        errors = [f for f in report.active if f.severity >= Severity.ERROR]
+        assert not errors, "\n" + to_text(report)
+        assert report.modules_scanned > 100
+
+
+class TestExtraction:
+    def test_recovery_model_is_stable(self):
+        package = Path(repro.__file__).parent / "recovery"
+        first = extract_code_model(package, name="repro.recovery")
+        second = extract_code_model(package, name="repro.recovery")
+        assert len(first.classes) == len(second.classes) == 10
+        assert len(first.packages) == len(second.packages) == 1
+        assert sorted(first.classes) == sorted(second.classes)
+        assert "repro.recovery.journal.RunJournal" in first.classes
+
+    def test_recovery_model_analyzes_cleanly(self):
+        package = Path(repro.__file__).parent / "recovery"
+        model = extract_code_model(package, name="repro.recovery")
+        report = analyze(model)
+        assert report.model_name == "repro.recovery"
+
+    def test_full_repo_smells_non_empty(self):
+        model = extract_code_model(Path(repro.__file__).parent, name="repro")
+        report = analyze(model)
+        assert report.instances, "Fig-8 smells empty over src/repro"
+        assert report.count(SmellKind.GOD_COMPONENT) >= 1
+
+    def test_kinds_filter_is_subset_of_full_report(self):
+        model = extract_code_model(Path(repro.__file__).parent / "sdnsim")
+        full = analyze(model)
+        only_god = analyze(model, kinds=[SmellKind.GOD_COMPONENT])
+        assert {i.kind for i in only_god.instances} <= {SmellKind.GOD_COMPONENT}
+        assert only_god.count(SmellKind.GOD_COMPONENT) == full.count(
+            SmellKind.GOD_COMPONENT
+        )
+
+    def test_extraction_resolves_supertypes(self):
+        model = extract_code_model(Path(repro.__file__).parent / "staticanalysis")
+        subtype = model.get_class(
+            "repro.staticanalysis.checks.nondeterminism.WallClockDetector"
+        )
+        assert subtype.supertype == "repro.staticanalysis.checks.base.Detector"
+        assert subtype.inherited_members_used  # overrides check_module
+
+
+class TestAnalyzerContract:
+    def test_duplicate_detector_ids_rejected(self):
+        detector_type = DETECTOR_TYPES[0]
+        with pytest.raises(StaticAnalysisError):
+            Analyzer([detector_type(), detector_type()])
+
+    def test_findings_sorted_and_relative(self):
+        report = run_lint([FIXTURES], root=FIXTURES)
+        locations = [(f.path, f.line, f.detector) for f in report.findings]
+        assert locations == sorted(locations)
+        assert all(not Path(f.path).is_absolute() for f in report.findings)
