@@ -10,6 +10,7 @@ inject       Execute the fault-injection campaign and the named case studies.
 chaos        Run a Chaos-Monkey fuzzing campaign.
 resilience   A/B fault campaign: bare scenarios vs the resilience runtime.
 adversary    Control-plane adversary: violate an invariant, minimize the trace.
+fuzz         Coverage-guided fault-schedule fuzzing over a parameterized topology.
 lint         Run sdnlint: taxonomy-mapped AST bug-pattern checks + smells.
 experiments  List every reproducible paper artifact and its bench.
 """
@@ -271,6 +272,49 @@ def _cmd_adversary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzzing import FuzzConfig, run_campaign
+
+    config = FuzzConfig(
+        controllers=args.controllers,
+        switches=args.switches,
+        flows=args.flows,
+        topology=args.topology,
+        budget=args.budget,
+        batch=args.batch,
+        seed=args.seed,
+        horizon=args.horizon,
+        hardened=args.hardened,
+        guided=not args.random,
+        minimize=not args.no_minimize,
+    )
+    report = run_campaign(
+        config,
+        args.run_dir,
+        resume=args.resume,
+        jobs=args.jobs,
+        progress=lambda msg: print(f"  {msg}"),
+    )
+    print(f"topology: {report.config.topology} "
+          f"({config.controllers} controllers x {config.switches} switches)")
+    print(report.summary())
+    by_origin: dict[str, int] = {}
+    for entry in report.state.corpus:
+        by_origin[entry.origin] = by_origin.get(entry.origin, 0) + 1
+    rows = [[origin, str(count)] for origin, count in sorted(by_origin.items())]
+    if rows:
+        print(ascii_table(["origin", "corpus entries"], rows,
+                          title="Corpus by producing operator"))
+    for cls in sorted(report.state.reproducers):
+        repro_entry = report.state.reproducers[cls]
+        print(f"  reproducer {cls}: {len(repro_entry.original)} -> "
+              f"{len(repro_entry.minimized)} events "
+              f"({repro_entry.replays} replays / {repro_entry.probes} probes)")
+    print(f"state fingerprint: {report.state.fingerprint()[:16]}...")
+    print(f"coverage map + reproducers under {report.run_dir}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     import pathlib
 
@@ -434,6 +478,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="schedules for --ab mode")
     p.add_argument("--trace-out", help="write the minimized trace JSON here")
     p.set_defaults(fn=_cmd_adversary)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="coverage-guided fault-schedule fuzzing over a parameterized "
+             "topology",
+    )
+    p.add_argument("--controllers", type=int, default=5)
+    p.add_argument("--switches", type=int, default=20)
+    p.add_argument("--flows", type=int, help="workload flows (default: one per switch)")
+    p.add_argument("--topology", choices=["ring", "star", "fattree"],
+                   default="ring")
+    p.add_argument("--budget", type=int, default=200,
+                   help="total schedules to execute")
+    p.add_argument("--batch", type=int, default=20, help="schedules per batch")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--horizon", type=float, default=40.0,
+                   help="simulated seconds per schedule")
+    p.add_argument("--jobs", type=int, default=1, help="work-pool width")
+    p.add_argument("--hardened", action="store_true",
+                   help="fuzz the hardened control plane")
+    p.add_argument("--random", action="store_true",
+                   help="disable coverage guidance (pure-random baseline)")
+    p.add_argument("--no-minimize", action="store_true",
+                   help="skip ddmin reproducer minimization")
+    p.add_argument("--run-dir", default="benchmarks/artifacts/fuzz",
+                   help="journal + snapshots + coverage map live here")
+    p.add_argument("--resume", action="store_true",
+                   help="resume the journaled campaign in --run-dir")
+    p.set_defaults(fn=_cmd_fuzz)
 
     p = sub.add_parser(
         "lint",

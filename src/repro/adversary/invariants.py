@@ -160,6 +160,11 @@ class MonitorSet:
     invariants: list[Invariant] = field(default_factory=default_invariants)
     ledger: ResilienceLedger | None = None
     violations: list[InvariantViolation] = field(default_factory=list)
+    #: Every edge the monitors observed, in detection order:
+    #: ``(time, invariant, subject, "rise"|"fall")``.  A rise is a fresh
+    #: violation; a fall is the condition clearing (re-arming the trigger).
+    #: The fuzzer's coverage map is built from these.
+    transitions: list[tuple[float, str, str, str]] = field(default_factory=list)
     _active: set[tuple[str, str]] = field(default_factory=set)
 
     def run(self, world: "AdversaryWorld") -> list[InvariantViolation]:
@@ -172,6 +177,13 @@ class MonitorSet:
                 for subject, detail in invariant.check(world)
             }
             # Cleared conditions re-arm the edge trigger.
+            cleared = sorted(
+                key
+                for key in self._active
+                if key[0] == invariant.name and key not in current
+            )
+            for name, subject in cleared:
+                self.transitions.append((now, name, subject, "fall"))
             self._active = {
                 key
                 for key in self._active
@@ -181,6 +193,7 @@ class MonitorSet:
                 if (name, subject) in self._active:
                     continue
                 self._active.add((name, subject))
+                self.transitions.append((now, name, subject, "rise"))
                 violation = InvariantViolation(
                     time=now,
                     invariant=name,

@@ -25,7 +25,10 @@ class MinimizationResult:
     original: FaultSchedule
     minimized: FaultSchedule
     target: str
+    #: World replays actually executed (memoized subset probes are free).
     replays: int
+    #: Subset tests ddmin asked for, including memoization hits.
+    probes: int = 0
 
     @property
     def reduction(self) -> float:
@@ -38,7 +41,7 @@ class MinimizationResult:
         return (
             f"{len(self.original)} -> {len(self.minimized)} events "
             f"({self.reduction:.0%} removed) reproducing {self.target!r} "
-            f"in {self.replays} replays"
+            f"in {self.replays} replays ({self.probes} probes)"
         )
 
 
@@ -59,6 +62,7 @@ def minimize_schedule(
     schedule: FaultSchedule,
     *,
     target: str | None = None,
+    predicate: Callable[[AdversaryResult], bool] | None = None,
     replay: Callable[[FaultSchedule], AdversaryResult] | None = None,
     max_replays: int = 512,
     **world_kwargs,
@@ -66,37 +70,68 @@ def minimize_schedule(
     """ddmin ``schedule`` down to a minimal reproducer of ``target``.
 
     ``target`` is an invariant name; by default the invariant of the first
-    violation the full schedule produces.  ``replay`` defaults to
-    :func:`run_adversary` with ``world_kwargs`` (e.g. ``hardened=True``) —
-    pass a custom closure to minimize against a different system under test.
+    violation the full schedule produces.  ``predicate`` replaces the
+    invariant-name check entirely — the fuzzer uses it to preserve a whole
+    coverage signature, not just an invariant — with ``target`` kept as the
+    reproducer's label.  ``replay`` defaults to :func:`run_adversary` with
+    ``world_kwargs`` (e.g. ``hardened=True``) — pass a custom closure to
+    minimize against a different system under test.
+
+    Identical index-subsets are memoized: replay is a pure function of the
+    schedule, so ddmin's revisits (complement passes re-deriving an earlier
+    chunk, granularity resets) never re-execute the world.
     """
     if replay is None:
         replay = lambda s: run_adversary(s, **world_kwargs)  # noqa: E731
 
     replays = 0
+    probes = 0
+    tested: dict[tuple[int, ...], bool] = {}
 
-    def violates(sub: FaultSchedule, wanted: str) -> bool:
-        nonlocal replays
+    def holds(result: AdversaryResult, wanted: str) -> bool:
+        if predicate is not None:
+            return predicate(result)
+        return any(v.invariant == wanted for v in result.violations)
+
+    def violates(keep: list[int], wanted: str) -> bool:
+        nonlocal replays, probes
+        probes += 1
+        key = tuple(keep)
+        if key in tested:
+            return tested[key]
         replays += 1
         if replays > max_replays:
             raise ReproError(f"minimization exceeded {max_replays} replays")
-        return any(v.invariant == wanted for v in replay(sub).violations)
+        outcome = holds(replay(schedule.subset(keep)), wanted)
+        tested[key] = outcome
+        return outcome
 
     base = replay(schedule)
     replays += 1
-    if not base.violations:
-        raise ReproError("schedule does not violate any invariant; nothing to minimize")
-    if target is None:
-        target = base.violations[0].invariant
-    elif not any(v.invariant == target for v in base.violations):
-        raise ReproError(f"schedule does not violate {target!r}")
+    probes += 1
+    if predicate is not None:
+        if not holds(base, target or ""):
+            raise ReproError("schedule does not satisfy the predicate; "
+                             "nothing to minimize")
+        if target is None:
+            target = "predicate"
+    else:
+        if not base.violations:
+            raise ReproError(
+                "schedule does not violate any invariant; nothing to minimize"
+            )
+        if target is None:
+            target = base.violations[0].invariant
+        elif not any(v.invariant == target for v in base.violations):
+            raise ReproError(f"schedule does not violate {target!r}")
+    tested[tuple(range(len(schedule)))] = True
 
     indices = list(range(len(schedule)))
     n = 2
     while len(indices) >= 2:
         reduced = False
         for chunk in _chunks(indices, n):
-            if violates(schedule.subset(chunk), target):
+            if violates(chunk, target):
                 indices = chunk
                 n = 2
                 reduced = True
@@ -106,7 +141,7 @@ def minimize_schedule(
         if n < len(indices):
             for chunk in _chunks(indices, n):
                 complement = [i for i in indices if i not in set(chunk)]
-                if complement and violates(schedule.subset(complement), target):
+                if complement and violates(complement, target):
                     indices = complement
                     n = max(n - 1, 2)
                     reduced = True
@@ -120,5 +155,6 @@ def minimize_schedule(
 
     minimized = schedule.subset(indices)
     return MinimizationResult(
-        original=schedule, minimized=minimized, target=target, replays=replays
+        original=schedule, minimized=minimized, target=target,
+        replays=replays, probes=probes,
     )

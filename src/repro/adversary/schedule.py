@@ -15,7 +15,7 @@ import enum
 import json
 from dataclasses import dataclass, field
 
-from repro.errors import ReproError
+from repro.errors import ReproError, ScheduleError
 
 
 class FaultAction(enum.Enum):
@@ -50,6 +50,16 @@ CHANNEL_ACTIONS = frozenset(
 )
 
 
+def _numeric_field(data: dict[str, object], name: str, value: object) -> float:
+    # bool is an int subclass, but "time": true is a malformed document.
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ScheduleError(
+            f"fault event {data!r}: field {name!r} must be a number, "
+            f"got {type(value).__name__}"
+        )
+    return float(value)
+
+
 @dataclass(frozen=True)
 class FaultEvent:
     """One scheduled adversary action.
@@ -76,15 +86,27 @@ class FaultEvent:
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "FaultEvent":
-        try:
-            return cls(
-                time=float(data["time"]),  # type: ignore[arg-type]
-                target=str(data["target"]),
-                action=FaultAction(data["action"]),
-                param=float(data.get("param", 1.0)),  # type: ignore[arg-type]
+        if not isinstance(data, dict):
+            raise ScheduleError(
+                f"fault event must be a JSON object, got {type(data).__name__}"
             )
-        except (KeyError, ValueError, TypeError) as exc:
-            raise ReproError(f"malformed fault event {data!r}: {exc}") from exc
+        missing = [key for key in ("time", "target", "action") if key not in data]
+        if missing:
+            raise ScheduleError(
+                f"fault event {data!r} is missing field(s) {missing}"
+            )
+        try:
+            action = FaultAction(data["action"])
+        except ValueError:
+            known = ", ".join(sorted(a.value for a in FaultAction))
+            raise ScheduleError(
+                f"unknown fault action {data['action']!r} (known: {known})"
+            ) from None
+        time = _numeric_field(data, "time", data["time"])
+        param = _numeric_field(data, "param", data.get("param", 1.0))
+        if time < 0:
+            raise ScheduleError(f"fault event {data!r} scheduled before t=0")
+        return cls(time=time, target=str(data["target"]), action=action, param=param)
 
 
 @dataclass
@@ -96,7 +118,7 @@ class FaultSchedule:
     def __post_init__(self) -> None:
         for event in self.events:
             if event.time < 0:
-                raise ReproError(f"fault event before t=0: {event}")
+                raise ScheduleError(f"fault event before t=0: {event}")
         self.events = sorted(self.events, key=lambda e: (e.time, e.target, e.action.value))
 
     def __len__(self) -> int:
@@ -131,9 +153,12 @@ class FaultSchedule:
 
     @classmethod
     def from_json(cls, text: str) -> "FaultSchedule":
-        rows = json.loads(text)
+        try:
+            rows = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScheduleError(f"schedule document is not valid JSON: {exc}") from exc
         if not isinstance(rows, list):
-            raise ReproError("a schedule JSON document must be a list of events")
+            raise ScheduleError("a schedule JSON document must be a list of events")
         return cls.from_dicts(rows)
 
     def summary(self) -> str:

@@ -108,13 +108,21 @@ class AdversaryWorld:
         echo_deadline: float = 10.0,
         convergence_horizon: float = 8.0,
         settle_horizon: float = 3.0,
+        flows: int | None = None,
     ) -> None:
         if len(nodes) < 2:
             raise ReproError("the adversary world needs at least two nodes")
+        if flows is not None and flows < 1:
+            raise ReproError("flows must be >= 1 when given")
         self.nodes = tuple(nodes)
         self.dpids = tuple(dpids)
         self.hardened = hardened
         self.ledger = ledger
+        #: Total workload flow requests per run (None = one per device per
+        #: round, the hand-sized legacy workload).  Large parameterized
+        #: topologies cap this so run cost scales with the workload, not
+        #: with switches x rounds.
+        self.flows = flows
         self.echo_interval = echo_interval
         self.echo_deadline = echo_deadline
         self.convergence_horizon = convergence_horizon
@@ -447,13 +455,27 @@ class AdversaryWorld:
             for dpid in self.dpids:
                 self.scheduler.schedule_at(t, self._make_echo_sender(dpid))
             t += self.echo_interval
-        round_index = 0
-        t = 3.0
-        while t < horizon * 0.8:
-            for dpid in self.dpids:
-                self.scheduler.schedule_at(t, self._make_flow_requester(dpid, round_index))
-            round_index += 1
-            t += 7.0
+        if self.flows is None:
+            round_index = 0
+            t = 3.0
+            while t < horizon * 0.8:
+                for dpid in self.dpids:
+                    self.scheduler.schedule_at(
+                        t, self._make_flow_requester(dpid, round_index)
+                    )
+                round_index += 1
+                t += 7.0
+        else:
+            # K flows round-robin over devices, spread across the active
+            # window so mid-run disruptions always have traffic to break.
+            window = max(horizon * 0.8 - 3.0, 1.0)
+            step = window / self.flows
+            for index in range(self.flows):
+                dpid = self.dpids[index % len(self.dpids)]
+                self.scheduler.schedule_at(
+                    3.0 + index * step,
+                    self._make_flow_requester(dpid, index // len(self.dpids)),
+                )
         t = check_interval
         while t <= horizon:
             self.scheduler.schedule_at(t, lambda: self.monitors.run(self))
@@ -543,14 +565,20 @@ def run_adversary(
     dpids: tuple[int, ...] = (1, 2, 3),
     horizon: float = 90.0,
     invariants: list[Invariant] | None = None,
+    flows: int | None = None,
+    echo_interval: float = 5.0,
+    check_interval: float = 1.0,
 ) -> AdversaryResult:
     """Deterministically replay ``schedule`` against a fresh world."""
     world = AdversaryWorld(
         nodes=nodes, dpids=dpids, hardened=hardened, ledger=ledger,
-        invariants=invariants,
+        invariants=invariants, flows=flows, echo_interval=echo_interval,
     )
     world.load_schedule(schedule)
-    world.run(horizon=max(horizon, schedule.horizon + 20.0))
+    world.run(
+        horizon=max(horizon, schedule.horizon + 20.0),
+        check_interval=check_interval,
+    )
     return AdversaryResult(
         schedule=schedule, world=world, violations=list(world.monitors.violations)
     )

@@ -57,6 +57,16 @@ class InjectionError(ReproError):
     """A fault specification cannot be applied to the given scenario."""
 
 
+class ScheduleError(ReproError):
+    """A fault schedule (or one of its events) is malformed: unknown action,
+    missing or non-numeric field, bad JSON shape, or an event before t=0."""
+
+
+class FuzzError(ReproError):
+    """Invalid fuzzing-campaign configuration, or a resume that cannot be
+    honored against the journal/corpus on disk."""
+
+
 class FrameworkError(ReproError):
     """Unknown fault-tolerance framework or invalid capability query."""
 

@@ -1,0 +1,63 @@
+"""Coverage-guided fault-schedule fuzzing over parameterized topologies.
+
+The paper's §V-A finding — test environments "lack representative failures
+and equipment" — motivates both halves of this package: *representative
+equipment* (N-controller × M-switch × K-flow :class:`Topology` builders in
+place of the hand-wired 3-node world) and *representative failures* (an
+AFL-style search over fault schedules instead of uniform random injection).
+
+The feedback signal replacing branch coverage is the behavior of the
+runtime invariant monitors (:mod:`repro.fuzzing.coverage`): monitor edge
+transitions, violation fingerprints, flap counts, and co-violation combos.
+Schedules that reach unseen tokens join the corpus and are bred with five
+mutation operators (:mod:`repro.fuzzing.mutate`), optionally ranked by a
+CART tree trained online on ``schedule features -> violated``
+(:mod:`repro.fuzzing.features`).  Campaigns fan batches over a
+:class:`~repro.parallel.executor.WorkPool`, journal every batch through the
+PR-4 recovery discipline (kill a campaign mid-flight, ``--resume`` it,
+reach a bit-identical final state), and ddmin-minimize a reproducer for
+every new violation class (:mod:`repro.fuzzing.campaign`).
+"""
+
+from repro.fuzzing.campaign import (
+    FuzzCampaign,
+    FuzzConfig,
+    FuzzReport,
+    run_campaign,
+    seed_schedule,
+)
+from repro.fuzzing.corpus import (
+    CorpusEntry,
+    FuzzState,
+    Reproducer,
+    load_state,
+    save_state,
+)
+from repro.fuzzing.coverage import CoverageSample, run_coverage
+from repro.fuzzing.features import FEATURE_NAMES, schedule_features
+from repro.fuzzing.mutate import MUTATORS, mutate, random_event, validate_schedule
+from repro.fuzzing.topology import TOPOLOGY_KINDS, Topology, build_topology
+
+__all__ = [
+    "CorpusEntry",
+    "CoverageSample",
+    "FEATURE_NAMES",
+    "FuzzCampaign",
+    "FuzzConfig",
+    "FuzzReport",
+    "FuzzState",
+    "MUTATORS",
+    "Reproducer",
+    "TOPOLOGY_KINDS",
+    "Topology",
+    "build_topology",
+    "load_state",
+    "mutate",
+    "random_event",
+    "run_campaign",
+    "run_coverage",
+    "save_state",
+    "schedule_features",
+    "seed_schedule",
+    "validate_schedule",
+]

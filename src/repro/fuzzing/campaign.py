@@ -1,0 +1,520 @@
+"""The coverage-guided fault-schedule fuzzing campaign.
+
+AFL's loop, retooled for control planes: *inputs* are
+:class:`~repro.adversary.schedule.FaultSchedule`\\ s, the *program* is a
+deterministic :func:`~repro.adversary.world.run_adversary` replay over a
+parameterized :class:`~repro.fuzzing.topology.Topology`, and the *coverage
+map* is the invariant-monitor token set from
+:mod:`repro.fuzzing.coverage`.  Each generation:
+
+1. pick parents from the corpus (entries that previously reached unseen
+   coverage) and breed candidate mutants (:mod:`repro.fuzzing.mutate`);
+2. optionally rank candidates with the repo's CART tree, trained on every
+   ``(schedule features -> violated)`` observation so far — the learned
+   failure-inducing model of Ollando et al. (PAPERS.md);
+3. fan the batch out over a PR-3 :class:`~repro.parallel.executor.WorkPool`
+   (each replay is an independent pure function — embarrassingly parallel);
+4. fold results into the :class:`~repro.fuzzing.corpus.FuzzState`: keep
+   schedules reaching unseen tokens, record distinct violation signatures,
+   and ddmin-minimize a reproducer for every *new violation class*;
+5. snapshot the state atomically and commit it to a PR-4
+   :class:`~repro.recovery.journal.RunJournal` — a SIGKILLed campaign
+   resumed with ``--resume`` replays only unfinished batches and reaches a
+   bit-identical final state.
+
+Determinism contract: batch ``k`` of a campaign seeded ``S`` draws from
+``random.Random(f"fuzz:{S}:{k}")`` and nothing else — no wall clock, no
+``hash()``, no shared RNG across batches — so resume-from-batch-``k`` and
+run-through-batch-``k`` are the same computation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.adversary.minimizer import minimize_schedule
+from repro.adversary.schedule import FaultSchedule
+from repro.adversary.world import AdversaryResult, run_adversary
+from repro.errors import FuzzError
+from repro.fuzzing.corpus import (
+    CorpusEntry,
+    FuzzState,
+    Reproducer,
+    load_state,
+    save_state,
+)
+from repro.fuzzing.coverage import run_coverage
+from repro.fuzzing.features import schedule_features
+from repro.fuzzing.mutate import mutate, random_event
+from repro.fuzzing.topology import TOPOLOGY_KINDS, Topology, build_topology
+from repro.ml.tree import DecisionTreeClassifier
+from repro.parallel.executor import WorkPool
+from repro.recovery.checkpoint import open_run_journal
+from repro.recovery.journal import (
+    EVENT_BEGIN,
+    EVENT_COMMIT,
+    EVENT_RUN_END,
+    JournalEvent,
+)
+
+#: Minimum observations (with both outcomes present) before the tree votes.
+_MIN_TRAIN = 8
+#: ddmin budget per violation class; classes are few so this stays cheap.
+_MINIMIZE_MAX_REPLAYS = 160
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Everything that identifies one campaign (its resume identity)."""
+
+    controllers: int = 5
+    switches: int = 20
+    flows: int | None = None
+    topology: str = "ring"
+    budget: int = 200
+    batch: int = 20
+    seed: int = 0
+    horizon: float = 40.0
+    events: int = 12
+    hardened: bool = False
+    guided: bool = True
+    minimize: bool = True
+    oversample: int = 3
+    tree_depth: int = 4
+    echo_interval: float = 8.0
+    check_interval: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGY_KINDS:
+            raise FuzzError(
+                f"unknown topology kind {self.topology!r} "
+                f"(known: {', '.join(TOPOLOGY_KINDS)})"
+            )
+        for name in ("budget", "batch", "events", "oversample", "tree_depth"):
+            if getattr(self, name) < 1:
+                raise FuzzError(f"{name} must be >= 1")
+        if self.horizon <= 0:
+            raise FuzzError("horizon must be positive")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "controllers": self.controllers,
+            "switches": self.switches,
+            "flows": self.flows,
+            "topology": self.topology,
+            "budget": self.budget,
+            "batch": self.batch,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "events": self.events,
+            "hardened": self.hardened,
+            "guided": self.guided,
+            "minimize": self.minimize,
+            "oversample": self.oversample,
+            "tree_depth": self.tree_depth,
+            "echo_interval": self.echo_interval,
+            "check_interval": self.check_interval,
+        }
+
+    def digest(self) -> str:
+        """Resume identity: same digest == same campaign."""
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    @property
+    def n_batches(self) -> int:
+        return -(-self.budget // self.batch)
+
+    def build_topology(self) -> Topology:
+        return build_topology(
+            self.topology,
+            controllers=self.controllers,
+            switches=self.switches,
+            flows=self.flows,
+            seed=self.seed,
+        )
+
+
+def seed_schedule(
+    rng: random.Random, topology: Topology, *, horizon: float, events: int
+) -> FaultSchedule:
+    """A fresh random schedule over the topology's fault vocabulary.
+
+    Both the guided and the pure-random arm draw seeds from this exact
+    generator, so the bench compares *search strategies*, not input
+    distributions.
+    """
+    return FaultSchedule(
+        [random_event(rng, topology, horizon) for _ in range(events)]
+    )
+
+
+def _replay(schedule: FaultSchedule, config: FuzzConfig, topology: Topology) -> AdversaryResult:
+    return run_adversary(
+        schedule,
+        hardened=config.hardened,
+        nodes=topology.nodes,
+        dpids=topology.dpids,
+        horizon=config.horizon,
+        flows=topology.flows,
+        echo_interval=config.echo_interval,
+        check_interval=config.check_interval,
+    )
+
+
+def _execute_task(task: dict[str, Any]) -> dict[str, Any]:
+    """Replay one schedule and abstract it — module-level so the process
+    backend can pickle it; reconstructs everything from the task payload."""
+    config = FuzzConfig(**task["config"])
+    topology = config.build_topology()
+    schedule = FaultSchedule.from_dicts(task["schedule"])
+    result = _replay(schedule, config, topology)
+    # Bucket against the *configured* horizon (run_adversary may extend the
+    # actual run past it): late violations simply share the last bucket, and
+    # tokens stay comparable across schedules of different lengths.
+    sample = run_coverage(result, horizon=config.horizon)
+    return {
+        "tokens": list(sample.tokens),
+        "signatures": list(sample.violation_signatures),
+        "signature_invariants": dict(sample.signature_invariants),
+        "violated": sample.violated,
+        "features": schedule_features(schedule, horizon=config.horizon),
+    }
+
+
+def _select_novel(
+    feats: list[list[float]],
+    boring: list[bool],
+    executed: list[list[float]],
+    count: int,
+) -> list[int]:
+    """Greedy max-min novelty selection over the candidate pool.
+
+    Each pick maximizes its distance to the nearest already-executed (or
+    already-picked) feature vector; candidates the tree flagged as unlikely
+    to violate have their novelty halved rather than being dropped — the
+    tree biases, the coverage map decides.
+    """
+    chosen: list[int] = []
+    reference = [list(row) for row in executed]
+    pool = list(range(len(feats)))
+    while pool and len(chosen) < count:
+        best_index, best_score = pool[0], -1.0
+        for i in pool:
+            near = min(
+                (_distance(feats[i], ref) for ref in reference), default=1e9
+            )
+            score = near * (0.5 if boring[i] else 1.0)
+            if score > best_score:
+                best_index, best_score = i, score
+        pool.remove(best_index)
+        chosen.append(best_index)
+        reference.append(feats[best_index])
+    return chosen
+
+
+def _distance(a: list[float], b: list[float]) -> float:
+    return sum((x - y) ** 2 for x, y in zip(a, b)) ** 0.5
+
+
+def _violation_class(signature: str) -> str:
+    """``viol:<inv>:<kind>:<t>:<c>`` -> ``<inv>:<kind>``."""
+    parts = signature.split(":")
+    return f"{parts[1]}:{parts[2]}"
+
+
+@dataclass
+class FuzzReport:
+    """What a finished (or resumed-to-finished) campaign produced."""
+
+    config: FuzzConfig
+    state: FuzzState
+    run_dir: Path
+    resumed: bool
+    batches_executed: int
+
+    @property
+    def distinct_signatures(self) -> int:
+        return len(self.state.signatures)
+
+    def summary(self) -> str:
+        return (
+            f"{self.state.executed} schedules -> "
+            f"{len(self.state.coverage)} coverage tokens, "
+            f"{self.distinct_signatures} violation signatures, "
+            f"{len(self.state.corpus)} corpus entries, "
+            f"{len(self.state.reproducers)} minimized reproducers"
+        )
+
+
+class FuzzCampaign:
+    """One journaled coverage-guided campaign rooted at ``run_dir``."""
+
+    def __init__(
+        self,
+        config: FuzzConfig,
+        run_dir: str | Path,
+        *,
+        jobs: int = 1,
+        on_event: Callable[[JournalEvent], None] | None = None,
+        progress: Callable[[str], None] | None = None,
+    ) -> None:
+        self.config = config
+        self.run_dir = Path(run_dir)
+        self.jobs = jobs
+        self._on_event = on_event
+        self._progress = progress or (lambda _msg: None)
+        self.topology = config.build_topology()
+
+    # -- candidate generation --------------------------------------------------
+    def _pick_parent(self, rng: random.Random, state: FuzzState) -> CorpusEntry:
+        # Energy = discovery: parents that minted more unseen tokens (plus a
+        # bonus for violating ones) are bred more — AFL's power schedule.
+        weights = [
+            min(len(entry.new_tokens), 8) + (4 if entry.violated else 0) + 1
+            for entry in state.corpus
+        ]
+        total = sum(weights)
+        roll = rng.randrange(total)
+        for entry, weight in zip(state.corpus, weights):
+            roll -= weight
+            if roll < 0:
+                return entry
+        return state.corpus[-1]
+
+    def _candidates(
+        self, rng: random.Random, state: FuzzState, count: int
+    ) -> list[tuple[str, int | None, FaultSchedule]]:
+        """(origin, parent_id, schedule) triples for one batch.
+
+        Guided batches oversample a mixed pool — corpus mutants plus fresh
+        seeds — then greedily select for *feature-space novelty* (max-min
+        distance to every schedule already executed and to the picks so
+        far).  Behavioral novelty is what the coverage map rewards, and the
+        feature vector is its cheap replay-free proxy; the CART tree biases
+        the same selection by discounting candidates it predicts will not
+        violate anything.
+        """
+        config = self.config
+        fresh = lambda: seed_schedule(  # noqa: E731
+            rng, self.topology, horizon=config.horizon, events=config.events
+        )
+        if not config.guided or not state.corpus:
+            return [("seed", None, fresh()) for _ in range(count)]
+
+        wanted = count * config.oversample
+        explore = max(1, wanted // 3)
+        candidates: list[tuple[str, int | None, FaultSchedule]] = []
+        for _ in range(wanted - explore):
+            parent = self._pick_parent(rng, state)
+            mate = self._pick_parent(rng, state)
+            name, mutant = mutate(
+                FaultSchedule.from_dicts(parent.schedule),
+                FaultSchedule.from_dicts(mate.schedule),
+                self.topology,
+                rng,
+                horizon=config.horizon,
+            )
+            candidates.append((name, parent.entry_id, mutant))
+        for _ in range(explore):
+            candidates.append(("seed", None, fresh()))
+
+        feats = [
+            schedule_features(sched, horizon=config.horizon)
+            for _, _, sched in candidates
+        ]
+        tree = self._maybe_fit_tree(state)
+        boring = (
+            [int(p) == 0 for p in tree.predict(feats)]
+            if tree is not None
+            else [False] * len(candidates)
+        )
+        return [candidates[i] for i in _select_novel(feats, boring, state.features, count)]
+
+    def _maybe_fit_tree(self, state: FuzzState) -> DecisionTreeClassifier | None:
+        if len(state.labels) < _MIN_TRAIN or len(set(state.labels)) < 2:
+            return None
+        tree = DecisionTreeClassifier(max_depth=self.config.tree_depth)
+        return tree.fit(state.features, state.labels)
+
+    # -- reproducers -----------------------------------------------------------
+    def _minimize_class(
+        self, state: FuzzState, schedule: FaultSchedule, signature: str, invariant: str
+    ) -> None:
+        cls = _violation_class(signature)
+        if cls in state.reproducers:
+            return
+        prefix = f"viol:{cls}:"
+        config, topology = self.config, self.topology
+
+        def predicate(result: AdversaryResult) -> bool:
+            sample = run_coverage(result, horizon=config.horizon)
+            return any(s.startswith(prefix) for s in sample.violation_signatures)
+
+        outcome = minimize_schedule(
+            schedule,
+            target=cls,
+            predicate=predicate,
+            replay=lambda s: _replay(s, config, topology),
+            max_replays=_MINIMIZE_MAX_REPLAYS,
+        )
+        state.reproducers[cls] = Reproducer(
+            violation_class=cls,
+            invariant=invariant,
+            signature=signature,
+            original=schedule.to_dicts(),
+            minimized=outcome.minimized.to_dicts(),
+            replays=outcome.replays,
+            probes=outcome.probes,
+        )
+
+    # -- the generation fold ---------------------------------------------------
+    def _step(self, state: FuzzState, k: int, pool: WorkPool) -> None:
+        config = self.config
+        rng = random.Random(f"fuzz:{config.seed}:{k}")
+        count = min(config.batch, config.budget - k * config.batch)
+        candidates = self._candidates(rng, state, count)
+        tasks = [
+            {"config": config.to_dict(), "schedule": sched.to_dicts()}
+            for _, _, sched in candidates
+        ]
+        results = pool.map(_execute_task, tasks)
+
+        for (origin, parent, sched), outcome in zip(candidates, results):
+            if outcome is None:  # quarantined by the pool; never expected here
+                continue
+            state.executed += 1
+            tokens = set(outcome["tokens"])
+            new_tokens = tokens - state.coverage
+            violated = bool(outcome["violated"])
+            if violated:
+                state.violated_runs += 1
+            state.features.append(list(outcome["features"]))
+            state.labels.append(int(violated))
+            if new_tokens:
+                state.coverage |= tokens
+                state.corpus.append(
+                    CorpusEntry(
+                        entry_id=len(state.corpus),
+                        origin=origin,
+                        parent=parent,
+                        schedule=sched.to_dicts(),
+                        new_tokens=tuple(sorted(new_tokens)),
+                        violated=violated,
+                    )
+                )
+            state.signatures |= set(outcome["signatures"])
+            if config.minimize:
+                for signature in sorted(outcome["signature_invariants"]):
+                    invariant = outcome["signature_invariants"][signature]
+                    self._minimize_class(state, sched, signature, invariant)
+        state.batch_index = k
+
+    # -- orchestration ---------------------------------------------------------
+    def run(self, *, resume: bool = False) -> FuzzReport:
+        config = self.config
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        journal, committed = open_run_journal(
+            self.run_dir / "journal.jsonl",
+            f"fuzz-{config.seed}",
+            resume=resume,
+            config_digest=config.digest(),
+            on_event=self._on_event,
+        )
+        try:
+            state, start = self._load_or_init(committed)
+            batches = 0
+            if start < config.n_batches:
+                pool = WorkPool(self.jobs, backend="auto" if self.jobs > 1 else "serial")
+                for k in range(start, config.n_batches):
+                    stage = f"batch-{k:04d}"
+                    journal.append(EVENT_BEGIN, stage=stage)
+                    self._step(state, k, pool)
+                    snapshot = f"state-{k:04d}.json"
+                    digest = save_state(state, self.run_dir / snapshot)
+                    journal.append(
+                        EVENT_COMMIT, stage=stage, key=snapshot, digest=digest
+                    )
+                    self._prune_snapshots(keep=snapshot)
+                    batches += 1
+                    self._progress(
+                        f"batch {k + 1}/{config.n_batches}: "
+                        f"{len(state.coverage)} tokens, "
+                        f"{len(state.signatures)} violation signatures"
+                    )
+            journal.append(EVENT_RUN_END)
+            self._export(state)
+            return FuzzReport(
+                config=config,
+                state=state,
+                run_dir=self.run_dir,
+                resumed=resume,
+                batches_executed=batches,
+            )
+        finally:
+            journal.close()
+
+    def _load_or_init(
+        self, committed: dict[str, JournalEvent]
+    ) -> tuple[FuzzState, int]:
+        batch_stages = sorted(s for s in committed if s.startswith("batch-"))
+        if not batch_stages:
+            return FuzzState(config=self.config.to_dict()), 0
+        last = committed[batch_stages[-1]]
+        state = load_state(self.run_dir / last.key, expect_digest=last.digest)
+        return state, state.batch_index + 1
+
+    def _prune_snapshots(self, *, keep: str) -> None:
+        for path in sorted(self.run_dir.glob("state-*.json")):
+            if path.name != keep:
+                path.unlink()
+
+    def _export(self, state: FuzzState) -> None:
+        coverage = {
+            "topology": self.topology.summary(),
+            "executed": state.executed,
+            "violated_runs": state.violated_runs,
+            "tokens": sorted(state.coverage),
+            "violation_signatures": sorted(state.signatures),
+            "corpus_size": len(state.corpus),
+            "fingerprint": state.fingerprint(),
+        }
+        _atomic_json(self.run_dir / "coverage.json", coverage)
+        reproducers = [
+            state.reproducers[key].to_dict() for key in sorted(state.reproducers)
+        ]
+        _atomic_json(self.run_dir / "reproducers.json", reproducers)
+
+
+def _atomic_json(path: Path, payload: Any) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=1)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def run_campaign(
+    config: FuzzConfig,
+    run_dir: str | Path,
+    *,
+    resume: bool = False,
+    jobs: int = 1,
+    on_event: Callable[[JournalEvent], None] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> FuzzReport:
+    """Run (or resume) one campaign; the CLI and tests call this."""
+    campaign = FuzzCampaign(
+        config, run_dir, jobs=jobs, on_event=on_event, progress=progress
+    )
+    return campaign.run(resume=resume)

@@ -1,0 +1,98 @@
+"""Schedule features for the learned failure-inducing model.
+
+"Learning Failure-Inducing Models for Testing Software-Defined Networks"
+(PAPERS.md) steers fault injection with a model over *fault-scenario
+features*; we do the same with the repo's own CART tree.  A schedule is
+summarized into a fixed-length numeric vector — action mix, timing shape,
+target spread — that the campaign's decision tree maps to
+P(invariant violation).  Features must be cheap (computed for every
+candidate mutant) and replay-free (a pure function of the schedule text).
+"""
+
+from __future__ import annotations
+
+from repro.adversary.schedule import (
+    CHANNEL_ACTIONS,
+    FaultAction,
+    FaultSchedule,
+)
+
+_ACTIONS = tuple(FaultAction)
+
+FEATURE_NAMES: tuple[str, ...] = tuple(
+    f"n_{action.value}" for action in _ACTIONS
+) + (
+    "n_events",
+    "mean_time",
+    "std_time",
+    "frac_early",
+    "frac_late",
+    "target_spread",
+    "frac_node_targets",
+    "frac_dev_targets",
+    "mean_channel_param",
+    "kills_before_partition",
+    "heal_after_partition",
+)
+
+
+def schedule_features(schedule: FaultSchedule, *, horizon: float) -> list[float]:
+    """Fixed-length feature vector for one schedule (see FEATURE_NAMES)."""
+    events = schedule.events
+    n = len(events)
+    if n == 0:
+        return [0.0] * len(FEATURE_NAMES)
+    span = horizon if horizon > 0 else 1.0
+    times = [e.time / span for e in events]
+    mean_time = sum(times) / n
+    std_time = (sum((t - mean_time) ** 2 for t in times) / n) ** 0.5
+
+    counts = {action: 0 for action in _ACTIONS}
+    node_targets = 0
+    dev_targets = 0
+    channel_params: list[float] = []
+    first_partition = None
+    last_partition = None
+    kills_before_partition = 0
+    heal_after_partition = 0.0
+    for event in events:
+        counts[event.action] += 1
+        if event.target.startswith("node:"):
+            node_targets += 1
+        elif event.target.startswith("dev:"):
+            dev_targets += 1
+        if event.action in CHANNEL_ACTIONS:
+            channel_params.append(event.param)
+        if event.action is FaultAction.PARTITION:
+            if first_partition is None:
+                first_partition = event.time
+            last_partition = event.time
+    for event in events:
+        if (
+            event.action is FaultAction.KILL
+            and first_partition is not None
+            and event.time < first_partition
+        ):
+            kills_before_partition += 1
+        if (
+            event.action is FaultAction.HEAL
+            and last_partition is not None
+            and event.time > last_partition
+        ):
+            heal_after_partition = 1.0
+
+    features = [float(counts[action]) for action in _ACTIONS]
+    features += [
+        float(n),
+        mean_time,
+        std_time,
+        sum(1 for t in times if t < 1.0 / 3.0) / n,
+        sum(1 for t in times if t > 2.0 / 3.0) / n,
+        len({e.target for e in events}) / n,
+        node_targets / n,
+        dev_targets / n,
+        sum(channel_params) / len(channel_params) if channel_params else 0.0,
+        float(kills_before_partition),
+        heal_after_partition,
+    ]
+    return features

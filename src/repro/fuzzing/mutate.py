@@ -1,0 +1,322 @@
+"""Schedule mutation operators: the fuzzer's search moves.
+
+Five operators, all pure functions of ``(rng, parents, topology)``:
+
+* ``splice``     — crossover: prefix of one corpus schedule, suffix of
+                   another, cut at a random time;
+* ``retarget``   — re-point one event at a different valid target (channel,
+                   node, or a structured partition cut from the topology);
+* ``time-jitter``— gaussian-nudge event times within the horizon;
+* ``action-flip``— swap an event's action within its class (channel actions
+                   among themselves; node actions among themselves), fixing
+                   the param up to match the new action's semantics;
+* ``havoc``      — 2-5 stacked random moves including event insertion and
+                   deletion (the classic AFL kitchen-sink).
+
+Every mutant is *well-formed by construction*: times clamped to
+``[0, horizon]``, targets valid for the action, params in the action's
+domain, and at least one event — property-tested in
+``tests/test_fuzzing.py``.  Determinism: operators draw only from the
+passed ``random.Random``; the same rng state yields the same mutant.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.adversary.schedule import (
+    CHANNEL_ACTIONS,
+    FaultAction,
+    FaultEvent,
+    FaultSchedule,
+)
+from repro.errors import FuzzError, ScheduleError
+from repro.fuzzing.topology import Topology
+
+#: Events never land in the final fifth of the horizon: the world needs
+#: settle time for liveness monitors to observe the damage.
+ACTIVE_FRACTION = 0.8
+
+_NODE_ACTIONS = (
+    FaultAction.PARTITION,
+    FaultAction.HEAL,
+    FaultAction.CLOCK_SKEW,
+    FaultAction.KILL,
+)
+_CHANNEL_ACTION_ORDER = tuple(
+    action for action in FaultAction if action in CHANNEL_ACTIONS
+)
+
+
+def _clamp_time(time: float, horizon: float) -> float:
+    return round(min(max(time, 0.0), horizon * ACTIVE_FRACTION), 3)
+
+
+def _channel_param(rng: random.Random, action: FaultAction) -> float:
+    if action is FaultAction.DELAY:
+        return round(rng.uniform(2.0, 12.0), 2)
+    return float(rng.randint(1, 3))
+
+
+def _target_for(
+    rng: random.Random, action: FaultAction, topology: Topology
+) -> str:
+    if action in CHANNEL_ACTIONS:
+        targets = topology.channel_targets()
+        return targets[rng.randrange(len(targets))]
+    if action is FaultAction.PARTITION:
+        specs = topology.partition_specs
+        if specs:
+            return specs[rng.randrange(len(specs))]
+        isolated = topology.nodes[rng.randrange(len(topology.nodes))]
+        rest = ",".join(n for n in topology.nodes if n != isolated)
+        return f"{isolated}|{rest}"
+    if action is FaultAction.HEAL:
+        return "*"
+    return topology.nodes[rng.randrange(len(topology.nodes))]
+
+
+def _param_for(rng: random.Random, action: FaultAction) -> float:
+    if action in CHANNEL_ACTIONS:
+        return _channel_param(rng, action)
+    if action is FaultAction.CLOCK_SKEW:
+        return round(rng.uniform(2.0, 20.0), 2)
+    return 0.0
+
+
+def random_event(
+    rng: random.Random, topology: Topology, horizon: float
+) -> FaultEvent:
+    """One fresh event drawn from the topology's vocabulary."""
+    action = _WEIGHTED_ACTIONS[rng.randrange(len(_WEIGHTED_ACTIONS))]
+    return FaultEvent(
+        time=_clamp_time(rng.uniform(1.0, horizon * ACTIVE_FRACTION), horizon),
+        target=_target_for(rng, action, topology),
+        action=action,
+        param=_param_for(rng, action),
+    )
+
+
+#: Same weighting as random_schedule: message-level faults dominate, with a
+#: steady minority of cluster-level disruptions.
+_WEIGHTED_ACTIONS = (
+    [FaultAction.DROP] * 4
+    + [FaultAction.DELAY] * 3
+    + [FaultAction.REORDER] * 2
+    + [FaultAction.DUPLICATE] * 2
+    + [FaultAction.CORRUPT] * 2
+    + [FaultAction.PARTITION] * 2
+    + [FaultAction.HEAL] * 1
+    + [FaultAction.CLOCK_SKEW] * 2
+    + [FaultAction.KILL] * 1
+)
+
+
+# -- operators ------------------------------------------------------------------
+
+def splice(
+    rng: random.Random,
+    schedule: FaultSchedule,
+    mate: FaultSchedule,
+    topology: Topology,
+    horizon: float,
+) -> FaultSchedule:
+    """Prefix of ``schedule`` + suffix of ``mate``, cut at a random time."""
+    cut = rng.uniform(0.0, horizon * ACTIVE_FRACTION)
+    events = [e for e in schedule.events if e.time < cut]
+    events += [e for e in mate.events if e.time >= cut]
+    if not events:
+        events = [random_event(rng, topology, horizon)]
+    return FaultSchedule(list(events))
+
+
+def retarget(
+    rng: random.Random,
+    schedule: FaultSchedule,
+    mate: FaultSchedule,
+    topology: Topology,
+    horizon: float,
+) -> FaultSchedule:
+    """Re-point one event at another valid target for its action."""
+    events = list(schedule.events)
+    index = rng.randrange(len(events))
+    old = events[index]
+    events[index] = FaultEvent(
+        time=old.time,
+        target=_target_for(rng, old.action, topology),
+        action=old.action,
+        param=old.param,
+    )
+    return FaultSchedule(events)
+
+
+def time_jitter(
+    rng: random.Random,
+    schedule: FaultSchedule,
+    mate: FaultSchedule,
+    topology: Topology,
+    horizon: float,
+) -> FaultSchedule:
+    """Gaussian-nudge roughly half the event times (sigma = horizon/10)."""
+    events = []
+    moved = False
+    for event in schedule.events:
+        if rng.random() < 0.5:
+            moved = True
+            events.append(
+                FaultEvent(
+                    time=_clamp_time(
+                        event.time + rng.gauss(0.0, horizon * 0.1), horizon
+                    ),
+                    target=event.target,
+                    action=event.action,
+                    param=event.param,
+                )
+            )
+        else:
+            events.append(event)
+    if not moved and events:
+        index = rng.randrange(len(events))
+        old = events[index]
+        events[index] = FaultEvent(
+            time=_clamp_time(old.time + rng.gauss(0.0, horizon * 0.1), horizon),
+            target=old.target,
+            action=old.action,
+            param=old.param,
+        )
+    return FaultSchedule(events)
+
+
+def action_flip(
+    rng: random.Random,
+    schedule: FaultSchedule,
+    mate: FaultSchedule,
+    topology: Topology,
+    horizon: float,
+) -> FaultSchedule:
+    """Swap one event's action within its class, fixing target and param."""
+    events = list(schedule.events)
+    index = rng.randrange(len(events))
+    old = events[index]
+    if old.action in CHANNEL_ACTIONS:
+        choices = [a for a in _CHANNEL_ACTION_ORDER if a is not old.action]
+        action = choices[rng.randrange(len(choices))]
+        events[index] = FaultEvent(
+            time=old.time,
+            target=old.target,
+            action=action,
+            param=_channel_param(rng, action),
+        )
+    else:
+        choices = [a for a in _NODE_ACTIONS if a is not old.action]
+        action = choices[rng.randrange(len(choices))]
+        events[index] = FaultEvent(
+            time=old.time,
+            target=_target_for(rng, action, topology),
+            action=action,
+            param=_param_for(rng, action),
+        )
+    return FaultSchedule(events)
+
+
+def havoc(
+    rng: random.Random,
+    schedule: FaultSchedule,
+    mate: FaultSchedule,
+    topology: Topology,
+    horizon: float,
+) -> FaultSchedule:
+    """2-6 stacked moves, growth-biased: insertion dominates deletion so
+    corpus schedules compound into fault combinations the fixed-length seed
+    generator can never sample."""
+    current = schedule
+    for _ in range(rng.randint(2, 6)):
+        roll = rng.random()
+        if roll < 0.35:
+            events = list(current.events)
+            for _ in range(rng.randint(1, 2)):
+                events.append(random_event(rng, topology, horizon))
+            current = FaultSchedule(events)
+        elif roll < 0.45 and len(current) > 1:
+            events = list(current.events)
+            events.pop(rng.randrange(len(events)))
+            current = FaultSchedule(events)
+        elif roll < 0.6:
+            current = retarget(rng, current, mate, topology, horizon)
+        elif roll < 0.8:
+            current = time_jitter(rng, current, mate, topology, horizon)
+        else:
+            current = action_flip(rng, current, mate, topology, horizon)
+    return current
+
+
+MUTATORS = {
+    "splice": splice,
+    "retarget": retarget,
+    "time-jitter": time_jitter,
+    "action-flip": action_flip,
+    "havoc": havoc,
+}
+
+#: Draw weights: havoc and splice explore, the point mutations exploit.
+_WEIGHTED_OPERATORS = (
+    ["havoc"] * 3
+    + ["splice"] * 2
+    + ["retarget"] * 2
+    + ["time-jitter"] * 2
+    + ["action-flip"] * 1
+)
+
+
+def mutate(
+    schedule: FaultSchedule,
+    mate: FaultSchedule,
+    topology: Topology,
+    rng: random.Random,
+    *,
+    horizon: float,
+    operator: str | None = None,
+) -> tuple[str, FaultSchedule]:
+    """Apply one (possibly rng-chosen) operator; returns (name, mutant)."""
+    if len(schedule) == 0:
+        raise FuzzError("cannot mutate an empty schedule")
+    name = operator or _WEIGHTED_OPERATORS[rng.randrange(len(_WEIGHTED_OPERATORS))]
+    if name not in MUTATORS:
+        raise FuzzError(
+            f"unknown mutation operator {name!r} (known: {', '.join(sorted(MUTATORS))})"
+        )
+    return name, MUTATORS[name](rng, schedule, mate, topology, horizon)
+
+
+def validate_schedule(
+    schedule: FaultSchedule, topology: Topology, *, horizon: float
+) -> None:
+    """Raise :class:`ScheduleError` unless every event is well-formed for
+    the topology — the contract the property tests hold mutants to."""
+    if len(schedule) == 0:
+        raise ScheduleError("schedule has no events")
+    nodes = set(topology.nodes)
+    channels = set(topology.channel_targets())
+    for event in schedule.events:
+        if not 0.0 <= event.time <= horizon:
+            raise ScheduleError(f"event outside [0, horizon]: {event}")
+        if event.action in CHANNEL_ACTIONS:
+            if event.target not in channels:
+                raise ScheduleError(f"bad channel target: {event}")
+            if event.param <= 0:
+                raise ScheduleError(f"non-positive channel param: {event}")
+        elif event.action in (FaultAction.KILL, FaultAction.CLOCK_SKEW):
+            if event.target not in nodes:
+                raise ScheduleError(f"bad node target: {event}")
+        elif event.action is FaultAction.PARTITION:
+            mentioned = {
+                part
+                for group in event.target.split("|")
+                for part in group.split(",")
+                if part
+            }
+            if not mentioned or not mentioned <= nodes:
+                raise ScheduleError(f"bad partition spec: {event}")
+        elif event.action is FaultAction.HEAL:
+            if event.target != "*":
+                raise ScheduleError(f"heal target must be '*': {event}")

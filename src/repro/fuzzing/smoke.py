@@ -1,0 +1,135 @@
+"""Fuzz-smoke campaign: ``python -m repro.fuzzing.smoke``.
+
+The CI entry point for fuzzer crash-safety.  Runs one uninterrupted
+reference campaign, then SIGKILLs fresh campaigns at several journal
+offsets and resumes each with ``--resume``; every resumed campaign must
+reach a final :class:`~repro.fuzzing.corpus.FuzzState` fingerprint
+**bit-for-bit identical** to the reference.  Exit status 0 only when every
+scenario passes; verdicts, coverage maps, and minimized reproducers land
+under ``--artifacts`` for CI upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.fuzzing.campaign import FuzzConfig, run_campaign
+
+
+def _child_env() -> dict[str, str]:
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH", "")
+    if src_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = src_root + (os.pathsep + existing if existing else "")
+    return env
+
+
+def _spawn(config: FuzzConfig, run_dir: Path, *, kill_after: int = 0,
+           resume: bool = False, out: Path | None = None,
+           timeout: float = 600.0) -> subprocess.CompletedProcess:
+    argv = [
+        sys.executable, "-m", "repro.fuzzing._child",
+        "--run-dir", str(run_dir),
+        "--config", json.dumps(config.to_dict()),
+    ]
+    if kill_after:
+        argv += ["--kill-after", str(kill_after)]
+    if resume:
+        argv.append("--resume")
+    if out is not None:
+        argv += ["--out", str(out)]
+    return subprocess.run(
+        argv, env=_child_env(), capture_output=True, text=True, timeout=timeout
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.fuzzing.smoke")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--budget", type=int, default=40)
+    parser.add_argument("--batch", type=int, default=8)
+    parser.add_argument("--controllers", type=int, default=5)
+    parser.add_argument("--switches", type=int, default=12)
+    parser.add_argument(
+        "--kill-events", type=int, nargs="+", default=[3, 6],
+        help="journal offsets to SIGKILL at (mid-campaign batch commits)",
+    )
+    parser.add_argument(
+        "--artifacts", default="benchmarks/artifacts/fuzz-smoke",
+        help="directory for verdicts + coverage + reproducers (CI upload)",
+    )
+    parser.add_argument("--workdir",
+                        help="scratch directory (default: a fresh tempdir)")
+    args = parser.parse_args(argv)
+
+    workdir = Path(args.workdir) if args.workdir else Path(
+        tempfile.mkdtemp(prefix="fuzz-smoke-")
+    )
+    artifacts = Path(args.artifacts)
+    artifacts.mkdir(parents=True, exist_ok=True)
+
+    config = FuzzConfig(
+        controllers=args.controllers,
+        switches=args.switches,
+        budget=args.budget,
+        batch=args.batch,
+        seed=args.seed,
+        horizon=30.0,
+    )
+    print(f"fuzz-smoke: seed={args.seed} budget={args.budget} "
+          f"kill-events={args.kill_events} workdir={workdir}")
+
+    reference = run_campaign(config, workdir / "reference")
+    ref_fingerprint = reference.state.fingerprint()
+    print(f"  reference: {reference.summary()}")
+
+    failed = 0
+    verdicts = [{
+        "label": "reference",
+        "fingerprint": ref_fingerprint,
+        "summary": reference.summary(),
+    }]
+    for k in args.kill_events:
+        run_dir = workdir / f"kill-{k}"
+        killed = _spawn(config, run_dir, kill_after=k)
+        was_killed = killed.returncode == -signal.SIGKILL
+        resumed = run_campaign(config, run_dir, resume=True)
+        fingerprint = resumed.state.fingerprint()
+        ok = was_killed and fingerprint == ref_fingerprint
+        failed += 0 if ok else 1
+        verdicts.append({
+            "label": f"kill-{k}",
+            "killed": was_killed,
+            "fingerprint": fingerprint,
+            "bit_identical": fingerprint == ref_fingerprint,
+        })
+        print(f"  {'PASS' if ok else 'FAIL'} kill-{k}: killed={was_killed} "
+              f"bit-identical={fingerprint == ref_fingerprint}")
+
+    with open(artifacts / "fuzz_smoke.json", "w") as handle:
+        json.dump(verdicts, handle, indent=2, sort_keys=True)
+    for name in ("coverage.json", "reproducers.json"):
+        source = workdir / "reference" / name
+        if source.exists():
+            shutil.copy2(source, artifacts / name)
+    print(f"verdicts + coverage + reproducers under {artifacts}")
+
+    if failed:
+        print(f"fuzz-smoke FAILED: {failed} scenario(s)")
+        return 1
+    print(f"fuzz-smoke OK: {len(args.kill_events)} killed campaign(s) resumed "
+          "to a state bit-for-bit identical to the uninterrupted reference")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

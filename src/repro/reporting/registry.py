@@ -240,6 +240,15 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "benchmarks/bench_staticanalysis.py",
         ("repro.staticanalysis", "repro.smells"),
     ),
+    Experiment(
+        "coverage-fuzzing",
+        "SS V-A test environments (extension)",
+        "coverage-guided fault-schedule fuzzer on a 10x200 fat-tree: "
+        ">=1.5x the distinct violation signatures of pure-random under "
+        "equal budget; every class ships a ddmin reproducer",
+        "benchmarks/bench_coverage_fuzzer.py",
+        ("repro.fuzzing", "repro.adversary", "repro.parallel", "repro.recovery"),
+    ),
 )
 
 

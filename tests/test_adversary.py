@@ -15,7 +15,7 @@ from repro.adversary import (
     random_schedule,
     run_adversary,
 )
-from repro.errors import ReproError
+from repro.errors import ReproError, ScheduleError
 from repro.resilience import ResilienceEvent, ResilienceLedger
 from repro.sdnsim import EventScheduler
 from repro.taxonomy import Symptom
@@ -52,6 +52,48 @@ class TestSchedule:
             FaultSchedule.from_dicts([{"time": 1.0, "action": "drop"}])
         with pytest.raises(ReproError):
             random_schedule(0, events=0)
+
+    def test_unknown_action_names_known_ones(self):
+        with pytest.raises(ScheduleError, match="unknown fault action"):
+            FaultEvent.from_dict(
+                {"time": 1.0, "target": "node:a", "action": "explode"}
+            )
+        with pytest.raises(ScheduleError, match="drop"):
+            FaultEvent.from_dict(
+                {"time": 1.0, "target": "node:a", "action": "explode"}
+            )
+
+    def test_missing_fields_listed(self):
+        with pytest.raises(ScheduleError, match="target"):
+            FaultEvent.from_dict({"time": 1.0, "action": "drop"})
+        with pytest.raises(ScheduleError, match="time.*target|target.*time"):
+            FaultEvent.from_dict({"action": "drop"})
+
+    def test_non_numeric_fields_rejected(self):
+        with pytest.raises(ScheduleError, match="must be a number"):
+            FaultEvent.from_dict(
+                {"time": "soon", "target": "node:a", "action": "drop"}
+            )
+        with pytest.raises(ScheduleError, match="must be a number"):
+            FaultEvent.from_dict(
+                {"time": 1.0, "target": "node:a", "action": "drop",
+                 "param": True}
+            )
+
+    def test_bad_json_shapes_rejected(self):
+        with pytest.raises(ScheduleError, match="not valid JSON"):
+            FaultSchedule.from_json("{nope")
+        with pytest.raises(ScheduleError, match="list of events"):
+            FaultSchedule.from_json('{"time": 1.0}')
+        with pytest.raises(ScheduleError, match="must be a JSON object"):
+            FaultSchedule.from_dicts(["drop"])
+
+    def test_round_trip_after_validation(self):
+        schedule = random_schedule(5, events=12)
+        restored = FaultSchedule.from_json(schedule.to_json())
+        assert restored == schedule
+        again = FaultSchedule.from_dicts(restored.to_dicts())
+        assert again.to_dicts() == schedule.to_dicts()
 
 
 class TestInterposer:
@@ -197,6 +239,44 @@ class TestMinimizer:
         assert any(
             v.invariant == minimized.target for v in replay.violations
         )
+        # probes counts every subset ddmin asked about, replays only the
+        # ones actually executed; they can only differ by memo hits.
+        assert minimized.replays <= minimized.probes
+
+    def test_memoization_skips_revisited_subsets(self):
+        """A two-culprit predicate forces ddmin through complement passes
+        and granularity resets that revisit identical index-subsets; the
+        memo answers those without re-running the replay."""
+        schedule = random_schedule(4, events=20)
+        culprits = (schedule.events[3], schedule.events[17])
+        replay_calls: list[int] = []
+
+        def replay(subset):
+            replay_calls.append(1)
+            return subset
+
+        def predicate(subset) -> bool:
+            return all(c in subset.events for c in culprits)
+
+        minimized = minimize_schedule(
+            schedule, replay=replay, predicate=predicate
+        )
+        assert len(minimized.minimized) <= 4
+        assert all(c in minimized.minimized.events for c in culprits)
+        assert minimized.replays == len(replay_calls)
+        assert minimized.replays < minimized.probes, (
+            "memoization never fired on a revisiting ddmin run"
+        )
+
+    def test_memoization_never_changes_the_answer(self):
+        """The memo is a pure cache: probe accounting aside, the minimized
+        schedule equals what a replay-every-probe ddmin produces."""
+        _seed, schedule, _result = find_violating_schedule(0, events=20)
+        first = minimize_schedule(schedule)
+        second = minimize_schedule(schedule)
+        assert first.minimized == second.minimized
+        assert first.replays == second.replays
+        assert first.probes == second.probes
 
     def test_minimized_is_one_minimal(self):
         """1-minimality: removing any single event loses the violation."""

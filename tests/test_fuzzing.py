@@ -1,0 +1,316 @@
+"""Coverage-guided fuzzer: topology, mutation, coverage, state, campaign."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.schedule import FaultSchedule
+from repro.errors import FuzzError, ReproError, ScheduleError
+from repro.fuzzing import (
+    FuzzConfig,
+    FuzzState,
+    MUTATORS,
+    build_topology,
+    load_state,
+    mutate,
+    run_campaign,
+    run_coverage,
+    save_state,
+    schedule_features,
+    seed_schedule,
+    validate_schedule,
+)
+from repro.fuzzing.campaign import _replay
+from repro.fuzzing.features import FEATURE_NAMES
+
+_SMALL = dict(
+    controllers=3, switches=4, budget=16, batch=4, seed=3,
+    horizon=20.0, events=3,
+)
+
+
+def _topology(kind="ring", controllers=4, switches=6, seed=0):
+    return build_topology(
+        kind, controllers=controllers, switches=switches, seed=seed
+    )
+
+
+class TestTopology:
+    def test_seed_stable(self):
+        assert _topology() == _topology()
+        assert _topology(seed=1) != _topology(seed=2) or (
+            _topology(seed=1).partition_specs
+            == _topology(seed=2).partition_specs
+        )
+
+    def test_shape(self):
+        topo = _topology(kind="fattree", controllers=10, switches=200)
+        assert topo.controllers == 10
+        assert topo.switches == 200
+        assert len(topo.channel_targets()) == 210
+        assert topo.partition_specs
+        nodes = set(topo.nodes)
+        for spec in topo.partition_specs:
+            mentioned = {
+                part for group in spec.split("|") for part in group.split(",")
+            }
+            assert mentioned <= nodes
+
+    def test_validation(self):
+        with pytest.raises(FuzzError, match="unknown topology"):
+            build_topology("mesh", controllers=3, switches=3)
+        with pytest.raises(FuzzError, match="two controllers"):
+            build_topology("ring", controllers=1, switches=3)
+        with pytest.raises(FuzzError, match="one switch"):
+            build_topology("ring", controllers=3, switches=0)
+        with pytest.raises(FuzzError, match="flows"):
+            build_topology("ring", controllers=3, switches=3, flows=0)
+
+
+class TestMutation:
+    @given(
+        kind=st.sampled_from(["ring", "star", "fattree"]),
+        controllers=st.integers(min_value=2, max_value=6),
+        switches=st.integers(min_value=1, max_value=8),
+        events=st.integers(min_value=1, max_value=8),
+        operator=st.sampled_from(sorted(MUTATORS)),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mutants_well_formed_and_deterministic(
+        self, kind, controllers, switches, events, operator, seed
+    ):
+        topo = build_topology(kind, controllers=controllers, switches=switches)
+        horizon = 30.0
+        gen = random.Random(f"gen:{seed}")
+        schedule = seed_schedule(gen, topo, horizon=horizon, events=events)
+        mate = seed_schedule(gen, topo, horizon=horizon, events=events)
+        validate_schedule(schedule, topo, horizon=horizon)
+
+        name, mutant = mutate(
+            schedule, mate, topo, random.Random(f"mut:{seed}"),
+            horizon=horizon, operator=operator,
+        )
+        assert name == operator
+        # Well-formed: times in range, targets valid for their actions.
+        validate_schedule(mutant, topo, horizon=horizon)
+        # Time-sorted by construction.
+        times = [e.time for e in mutant.events]
+        assert times == sorted(times)
+        # Seed-deterministic: same rng state, bit-for-bit same mutant.
+        _, again = mutate(
+            schedule, mate, topo, random.Random(f"mut:{seed}"),
+            horizon=horizon, operator=operator,
+        )
+        assert mutant == again
+
+    def test_empty_schedule_rejected(self):
+        topo = _topology()
+        with pytest.raises(FuzzError, match="empty"):
+            mutate(FaultSchedule(), FaultSchedule(), topo,
+                   random.Random(0), horizon=30.0)
+
+    def test_unknown_operator_rejected(self):
+        topo = _topology()
+        schedule = seed_schedule(random.Random(0), topo, horizon=30.0, events=2)
+        with pytest.raises(FuzzError, match="unknown mutation operator"):
+            mutate(schedule, schedule, topo, random.Random(0),
+                   horizon=30.0, operator="transmogrify")
+
+    def test_validate_schedule_catches_bad_targets(self):
+        topo = _topology()
+        bad = FaultSchedule.from_dicts(
+            [{"time": 1.0, "target": "node:zz", "action": "drop"}]
+        )
+        with pytest.raises(ScheduleError):
+            validate_schedule(bad, topo, horizon=30.0)
+
+
+class TestCoverage:
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_signature_bit_stable(self, seed):
+        """Same schedule + same world => bit-for-bit same coverage."""
+        config = FuzzConfig(controllers=3, switches=4, horizon=20.0)
+        topo = config.build_topology()
+        schedule = seed_schedule(
+            random.Random(f"cov:{seed}"), topo, horizon=20.0, events=4
+        )
+        samples = [
+            run_coverage(_replay(schedule, config, topo), horizon=20.0)
+            for _ in range(2)
+        ]
+        assert samples[0].tokens == samples[1].tokens
+        assert samples[0].signature == samples[1].signature
+        assert samples[0].violation_signatures == samples[1].violation_signatures
+        # viol tokens are exactly the signature subset.
+        assert set(samples[0].violation_signatures) == {
+            t for t in samples[0].tokens if t.startswith("viol:")
+        }
+
+    def test_features_fixed_length(self):
+        topo = _topology()
+        schedule = seed_schedule(random.Random(1), topo, horizon=30.0, events=5)
+        feats = schedule_features(schedule, horizon=30.0)
+        assert len(feats) == len(FEATURE_NAMES)
+        assert schedule_features(FaultSchedule(), horizon=30.0) == (
+            [0.0] * len(FEATURE_NAMES)
+        )
+
+
+class TestState:
+    def test_round_trip(self, tmp_path):
+        config = FuzzConfig(**_SMALL)
+        report = run_campaign(config, tmp_path / "run")
+        state = report.state
+        clone = FuzzState.from_dict(
+            json.loads(json.dumps(state.to_dict(), sort_keys=True))
+        )
+        assert clone.fingerprint() == state.fingerprint()
+
+    def test_save_load_verifies_digest(self, tmp_path):
+        state = FuzzState(config=FuzzConfig(**_SMALL).to_dict())
+        path = tmp_path / "state.json"
+        digest = save_state(state, path)
+        loaded = load_state(path, expect_digest=digest)
+        assert loaded.fingerprint() == state.fingerprint()
+        with pytest.raises(FuzzError, match="digest mismatch"):
+            load_state(path, expect_digest="0" * 64)
+
+    def test_missing_and_corrupt_snapshots_rejected(self, tmp_path):
+        with pytest.raises(FuzzError, match="does not exist"):
+            load_state(tmp_path / "nope.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{torn", encoding="utf-8")
+        with pytest.raises(FuzzError, match="not valid JSON"):
+            load_state(bad)
+        versioned = tmp_path / "versioned.json"
+        versioned.write_text('{"version": 99}', encoding="utf-8")
+        with pytest.raises(FuzzError, match="version"):
+            load_state(versioned)
+
+
+class TestCampaign:
+    def test_deterministic_given_seed(self, tmp_path):
+        config = FuzzConfig(**_SMALL)
+        one = run_campaign(config, tmp_path / "one")
+        two = run_campaign(config, tmp_path / "two")
+        assert one.state.fingerprint() == two.state.fingerprint()
+
+    def test_reproducers_replay(self, tmp_path):
+        config = FuzzConfig(**_SMALL)
+        report = run_campaign(config, tmp_path / "run")
+        assert report.state.executed == config.budget
+        topo = config.build_topology()
+        for cls in sorted(report.state.reproducers):
+            entry = report.state.reproducers[cls]
+            minimized = FaultSchedule.from_dicts(entry.minimized)
+            sample = run_coverage(
+                _replay(minimized, config, topo), horizon=config.horizon
+            )
+            assert any(
+                s.startswith(f"viol:{cls}:")
+                for s in sample.violation_signatures
+            )
+
+    def test_exports_written(self, tmp_path):
+        config = FuzzConfig(**_SMALL)
+        report = run_campaign(config, tmp_path / "run")
+        coverage = json.loads((tmp_path / "run" / "coverage.json").read_text())
+        assert coverage["fingerprint"] == report.state.fingerprint()
+        assert coverage["executed"] == config.budget
+        reproducers = json.loads(
+            (tmp_path / "run" / "reproducers.json").read_text()
+        )
+        assert len(reproducers) == len(report.state.reproducers)
+
+    def test_crash_then_resume_is_bit_identical(self, tmp_path):
+        """Abort mid-campaign right after a durable journal event; resume
+        must converge on the uninterrupted run's exact state."""
+        config = FuzzConfig(**_SMALL)
+        reference = run_campaign(config, tmp_path / "reference")
+
+        class Boom(RuntimeError):
+            pass
+
+        events = 0
+
+        def crash(event):
+            nonlocal events
+            events += 1
+            if events >= 4:  # mid-campaign, after a batch commit is durable
+                raise Boom()
+
+        with pytest.raises(Boom):
+            run_campaign(config, tmp_path / "crashed", on_event=crash)
+        resumed = run_campaign(config, tmp_path / "crashed", resume=True)
+        assert resumed.state.fingerprint() == reference.state.fingerprint()
+
+    def test_fresh_run_refuses_existing_journal(self, tmp_path):
+        config = FuzzConfig(**_SMALL)
+        run_campaign(config, tmp_path / "run")
+        with pytest.raises(ReproError, match="already exists"):
+            run_campaign(config, tmp_path / "run")
+
+    def test_resume_refuses_config_drift(self, tmp_path):
+        config = FuzzConfig(**_SMALL)
+        run_campaign(config, tmp_path / "run")
+        drifted = FuzzConfig(**{**_SMALL, "budget": 20})
+        with pytest.raises(ReproError, match="different configuration"):
+            run_campaign(drifted, tmp_path / "run", resume=True)
+
+    def test_resume_of_finished_run_is_a_no_op(self, tmp_path):
+        config = FuzzConfig(**_SMALL)
+        report = run_campaign(config, tmp_path / "run")
+        again = run_campaign(config, tmp_path / "run", resume=True)
+        assert again.batches_executed == 0
+        assert again.state.fingerprint() == report.state.fingerprint()
+
+    def test_random_arm_takes_no_guidance(self, tmp_path):
+        config = FuzzConfig(**{**_SMALL, "guided": False, "minimize": False})
+        report = run_campaign(config, tmp_path / "run")
+        assert report.state.executed == config.budget
+        assert all(e.origin == "seed" for e in report.state.corpus)
+
+    def test_config_validation(self):
+        with pytest.raises(FuzzError):
+            FuzzConfig(budget=0)
+        with pytest.raises(FuzzError):
+            FuzzConfig(topology="mesh")
+        with pytest.raises(FuzzError):
+            FuzzConfig(horizon=0.0)
+
+
+class TestCli:
+    def test_fuzz_command(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        rc = main([
+            "fuzz", "--budget", "8", "--batch", "4",
+            "--controllers", "3", "--switches", "4",
+            "--horizon", "20", "--seed", "3",
+            "--run-dir", str(tmp_path / "cli"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "violation signatures" in out
+        assert (tmp_path / "cli" / "coverage.json").exists()
+
+    def test_fuzz_resume_flag(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        args = [
+            "fuzz", "--budget", "8", "--batch", "4",
+            "--controllers", "3", "--switches", "4",
+            "--horizon", "20", "--seed", "3",
+            "--run-dir", str(tmp_path / "cli"),
+        ]
+        assert main(args) == 0
+        assert main(args + ["--resume"]) == 0
+        first, second = capsys.readouterr().out.split("state fingerprint: ")[1:]
+        assert first.split("...")[0] == second.split("...")[0]
