@@ -12,15 +12,38 @@ resilience   A/B fault campaign: bare scenarios vs the resilience runtime.
 adversary    Control-plane adversary: violate an invariant, minimize the trace.
 fuzz         Coverage-guided fault-schedule fuzzing over a parameterized topology.
 lint         Run sdnlint: taxonomy-mapped AST bug-pattern checks + smells.
+serve        Run the overload-robust triage serving daemon over a seeded trace.
 experiments  List every reproducible paper artifact and its bench.
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
+import re
 import sys
 
+from repro.errors import ReproError
 from repro.reporting import ascii_table, format_percent, render_distribution
+
+
+class CLIParser(argparse.ArgumentParser):
+    """Argparse with friendlier failures: every bad invocation exits 2 with
+    a one-line error (plus a did-you-mean hint for close misspellings) —
+    never a traceback."""
+
+    def error(self, message: str):
+        self.print_usage(sys.stderr)
+        hint = ""
+        match = re.search(r"invalid choice: '([^']*)'.*\(choose from (.*)\)",
+                          message)
+        if match:
+            choices = [c.strip().strip("'\"") for c in match.group(2).split(",")]
+            close = difflib.get_close_matches(match.group(1), choices, n=1)
+            if close:
+                hint = f" (did you mean {close[0]!r}?)"
+        print(f"{self.prog}: error: {message}{hint}", file=sys.stderr)
+        raise SystemExit(2)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -384,6 +407,95 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failing else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.serving import (
+        RequestLog,
+        ServingConfig,
+        ServingDaemon,
+        TrafficConfig,
+        TriageBackend,
+        generate_trace,
+        goodput,
+        percentile,
+        replay,
+        run_ab,
+    )
+
+    traffic = TrafficConfig(
+        seed=args.seed,
+        duration=args.duration,
+        base_rate=args.base_rate,
+        burst_rate=args.burst_rate,
+        bursts=args.bursts,
+    )
+    workdir = pathlib.Path(args.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    def make_backend():
+        return TriageBackend(seed=args.seed, lint_workspace=workdir / "lint")
+
+    if args.ab:
+        report = run_ab(make_backend, traffic=traffic)
+        rows = [
+            [
+                arm.name,
+                f"{arm.goodput:.3f}",
+                f"{arm.p50:.3f}s",
+                f"{arm.p99:.3f}s",
+                str(arm.answered),
+                str(arm.deadline_met),
+                str(arm.stats["shed"]),
+                str(arm.stats["expired"]),
+            ]
+            for arm in (report.hardened, report.bare)
+        ]
+        print(ascii_table(
+            ["arm", "goodput", "p50", "p99", "answered", "in-deadline",
+             "shed", "expired"],
+            rows,
+            title=(f"Overload A/B: {report.trace_requests} requests over "
+                   f"{report.duration:.0f}s simulated"),
+        ))
+        ratio = report.goodput_ratio
+        print(f"goodput ratio (hardened/bare): "
+              f"{'inf' if ratio == float('inf') else f'{ratio:.2f}x'}")
+        return 0
+
+    from repro.resilience.ledger import ResilienceLedger
+    from repro.sdnsim.clock import EventScheduler
+
+    trace = generate_trace(traffic)
+    scheduler = EventScheduler()
+    ledger = ResilienceLedger()
+    request_log = RequestLog(workdir / "requests.journal")
+    daemon = ServingDaemon(
+        scheduler,
+        make_backend(),
+        config=ServingConfig(hardened=not args.bare),
+        ledger=ledger,
+        request_log=request_log,
+    )
+    replay(trace, daemon)
+    daemon.run(until=traffic.duration + args.settle)
+    daemon.close()
+    stats = daemon.stats
+    latencies = [r.latency for r in daemon.responses if r.answered]
+    mode = "bare" if args.bare else "hardened"
+    print(f"{mode} daemon: {stats.submitted} submitted, "
+          f"{stats.answered} answered "
+          f"({stats.completed_full} full / {stats.served_stale} stale / "
+          f"{stats.served_heuristic} heuristic), "
+          f"{stats.shed} shed, {stats.expired} expired, {stats.errors} errors")
+    print(f"goodput {goodput(daemon.responses, traffic.duration):.3f}/s, "
+          f"p50 {percentile(latencies, 50.0):.3f}s, "
+          f"p99 {percentile(latencies, 99.0):.3f}s")
+    print(f"resilience ledger: {ledger.summary()}")
+    print(f"request journal: {request_log.path}")
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.reporting import EXPERIMENTS
 
@@ -394,7 +506,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = CLIParser(
         prog="repro",
         description="Reproduction of 'A Comprehensive Study of Bugs in SDNs' (DSN'21)",
     )
@@ -535,6 +647,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run only these smell detectors (implies --smells)")
     p.set_defaults(fn=_cmd_lint)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the overload-robust triage serving daemon over a seeded "
+             "synthetic trace",
+    )
+    p.add_argument("--seed", type=int, default=2020)
+    p.add_argument("--duration", type=float, default=30.0,
+                   help="simulated seconds of traffic")
+    p.add_argument("--base-rate", type=float, default=6.0,
+                   help="baseline arrivals per simulated second")
+    p.add_argument("--burst-rate", type=float, default=40.0,
+                   help="arrival rate inside burst windows")
+    p.add_argument("--bursts", type=int, default=3,
+                   help="number of burst windows")
+    p.add_argument("--settle", type=float, default=120.0,
+                   help="extra simulated seconds to drain queues")
+    p.add_argument("--bare", action="store_true",
+                   help="disable every protection (the collapse baseline)")
+    p.add_argument("--ab", action="store_true",
+                   help="run both arms and print the comparison")
+    p.add_argument("--workdir", default="benchmarks/artifacts/serve",
+                   help="request journal + lint workspace live here")
+    p.set_defaults(fn=_cmd_serve)
+
     p = sub.add_parser("experiments", help="list reproducible artifacts")
     p.set_defaults(fn=_cmd_experiments)
     return parser
@@ -542,7 +678,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        # Library failures become a one-line diagnostic, never a traceback:
+        # the CLI's own §IV lesson about error-message symptoms.
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print(f"repro {args.command}: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

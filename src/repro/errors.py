@@ -93,3 +93,15 @@ class CircuitOpenError(ResilienceError):
 
 class SupervisionError(ResilienceError):
     """A supervision tree exhausted its restart-intensity budget."""
+
+
+class ServingError(ReproError):
+    """Invalid serving-daemon configuration or request."""
+
+
+class BackendError(ServingError):
+    """A serving backend failed to execute a request (the retryable class)."""
+
+
+class PoisonRequestError(BackendError):
+    """A request whose payload deterministically crashes the backend."""

@@ -13,6 +13,7 @@ from repro.parallel.cache import (
     DEFAULT_CACHE_ROOT,
     QUARANTINE_DIRNAME,
     ArtifactCache,
+    CacheEntryInfo,
     CacheError,
     cache_key,
     canonicalize,
@@ -21,6 +22,7 @@ from repro.parallel.executor import PoisonTaskError, WorkPool
 
 __all__ = [
     "ArtifactCache",
+    "CacheEntryInfo",
     "CacheError",
     "DEFAULT_CACHE_ROOT",
     "PoisonTaskError",

@@ -249,6 +249,16 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "benchmarks/bench_coverage_fuzzer.py",
         ("repro.fuzzing", "repro.adversary", "repro.parallel", "repro.recovery"),
     ),
+    Experiment(
+        "serving-overload",
+        "SS IV load/overload bugs (extension)",
+        "overload A/B on the serving daemon: admission control + deadline "
+        "propagation + degradation tiers hold goodput >=1.5x a bare queue "
+        "under the same bursty trace, p99 inside the deadline budget, "
+        "every drop priced in the resilience ledger",
+        "benchmarks/bench_serving.py",
+        ("repro.serving", "repro.resilience", "repro.parallel", "repro.recovery"),
+    ),
 )
 
 

@@ -102,6 +102,23 @@ class CircuitBreaker:
             return self._probes_inflight < self.half_open_probes
         return False
 
+    @property
+    def probes_inflight(self) -> int:
+        """Half-open probes currently outstanding."""
+        return self._probes_inflight
+
+    def begin_probe(self) -> None:
+        """Mark a half-open probe as started.
+
+        Callers that run work asynchronously (e.g. on an event scheduler)
+        pair this with a later :meth:`record_success` /
+        :meth:`record_failure`, which retires the probe.  Outside
+        half-open this is a no-op — ordinary closed-state calls are not
+        probes.
+        """
+        if self.state is BreakerState.HALF_OPEN:
+            self._probes_inflight += 1
+
     def record_success(self) -> None:
         if self.state is BreakerState.HALF_OPEN:
             self._probes_inflight = max(0, self._probes_inflight - 1)
@@ -143,6 +160,7 @@ class CircuitBreaker:
         self.state = BreakerState.OPEN
         self.trips += 1
         self._results.clear()
+        self._probes_inflight = 0
         if self.ledger is not None:
             self.ledger.record(
                 ResilienceEvent.BREAKER_OPEN,
@@ -171,6 +189,7 @@ class CircuitBreaker:
     def _close(self) -> None:
         self.state = BreakerState.CLOSED
         self._results.clear()
+        self._probes_inflight = 0
         if self.ledger is not None:
             self.ledger.record(
                 ResilienceEvent.BREAKER_CLOSE,
@@ -196,8 +215,7 @@ class CircuitBreaker:
                     detail="call rejected while open",
                 )
             raise CircuitOpenError(f"breaker {self.name!r} is {self.state.value}")
-        if self.state is BreakerState.HALF_OPEN:
-            self._probes_inflight += 1
+        self.begin_probe()
         try:
             result = fn(*args, **kwargs)
         except Exception:

@@ -123,3 +123,85 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Fig-8 smells over extracted model" in out
         assert "god_component" in out
+
+    def test_serve_smoke(self, tmp_path, capsys):
+        assert main(["serve", "--duration", "5", "--base-rate", "2",
+                     "--bursts", "0", "--seed", "3",
+                     "--workdir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "hardened daemon" in out
+        assert "goodput" in out
+        assert (tmp_path / "requests.journal").exists()
+
+    def test_serve_bare_smoke(self, tmp_path, capsys):
+        assert main(["serve", "--duration", "5", "--base-rate", "2",
+                     "--bursts", "0", "--seed", "3", "--bare",
+                     "--workdir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "bare daemon" in out
+
+
+class TestErrorHandling:
+    """Bad input must exit non-zero with a one-line diagnostic, not a
+    traceback — the CLI hardening satellite of the serving PR."""
+
+    def test_unknown_command_exits_2_with_hint(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["servee"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'serve'?" in err
+        assert "Traceback" not in err
+
+    def test_unknown_flag_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--frobnicate"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unrecognized arguments" in err
+
+    def test_serve_bad_flag_value_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--duration", "soon"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid float value" in err
+
+    def test_serve_invalid_traffic_is_one_line_error(self, tmp_path, capsys):
+        code = main(["serve", "--duration", "-1",
+                     "--workdir", str(tmp_path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro serve: error:")
+        assert "Traceback" not in err
+
+    def test_fuzz_resume_missing_journal_is_one_line_error(
+            self, tmp_path, capsys):
+        code = main(["fuzz", "--resume",
+                     "--run-dir", str(tmp_path / "no-such-run")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro fuzz: error:")
+        assert "journal does not exist" in err
+        assert "Traceback" not in err
+
+    def test_fuzz_bad_topology_exits_2_with_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fuzz", "--topology", "torus"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice: 'torus'" in err
+
+    def test_pipeline_bad_jobs_value_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["pipeline", "--jobs", "many"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid int value" in err
+
+    def test_pipeline_unknown_flag_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["pipeline", "--parallelism", "4"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unrecognized arguments" in err

@@ -255,7 +255,9 @@ class TestArtifactCache:
         assert cache.get("svm", params) is None
         cache.put("svm", params, {"acc": 0.96})
         assert cache.get("svm", params) == {"acc": 0.96}
-        assert cache.stats() == {
+        stats = cache.stats()
+        assert {k: stats[k] for k in ("hits", "misses", "quarantined",
+                                      "stored")} == {
             "hits": 1, "misses": 1, "quarantined": 0, "stored": 1,
         }
 
@@ -397,3 +399,95 @@ class TestArtifactCacheIntegrity:
         tear_file(path, path.stat().st_size // 2)
         assert cache.lookup("nmf", {"seed": 3}) == (None, False)
         assert cache.stats()["quarantined"] == 1
+
+
+class TestCacheStaleness:
+    """Entry-age metadata: the serving daemon's stale-tier contract."""
+
+    def make(self, tmp_path, start=100.0):
+        # A hand-cranked clock instead of wall time: ages are exact.
+        state = {"now": start}
+        cache = ArtifactCache(tmp_path, clock=lambda: state["now"])
+        return cache, state
+
+    def test_sidecar_records_created_at(self, tmp_path):
+        import json
+
+        cache, state = self.make(tmp_path)
+        path = cache.put("svm", {"seed": 1}, "artifact")
+        meta = json.loads(path.with_suffix(".json").read_text())
+        assert meta["created_at"] == 100.0
+
+    def test_entry_info_ages_with_the_clock(self, tmp_path):
+        cache, state = self.make(tmp_path)
+        cache.put("svm", {"seed": 1}, "artifact")
+        state["now"] = 160.0
+        info = cache.entry_info("svm", {"seed": 1})
+        assert info is not None
+        assert info.namespace == "svm"
+        assert info.created_at == 100.0
+        assert info.age == 60.0
+        assert info.stamped
+
+    def test_entry_info_does_not_touch_hit_accounting(self, tmp_path):
+        cache, _ = self.make(tmp_path)
+        cache.put("svm", {"seed": 1}, "artifact")
+        cache.entry_info("svm", {"seed": 1})
+        stats = cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+    def test_entry_info_missing_entry_is_none(self, tmp_path):
+        cache, _ = self.make(tmp_path)
+        assert cache.entry_info("svm", {"seed": 404}) is None
+
+    def test_lookup_hit_exposes_last_entry_info(self, tmp_path):
+        cache, state = self.make(tmp_path)
+        cache.put("svm", {"seed": 1}, "artifact")
+        state["now"] = 130.0
+        value, hit = cache.lookup("svm", {"seed": 1})
+        assert hit
+        assert cache.last_entry_info is not None
+        assert cache.last_entry_info.age == 30.0
+
+    def test_legacy_unstamped_entry_has_unknown_age(self, tmp_path):
+        import json
+
+        cache, _ = self.make(tmp_path)
+        path = cache.put("svm", {"seed": 1}, "artifact")
+        sidecar = path.with_suffix(".json")
+        meta = json.loads(sidecar.read_text())
+        del meta["created_at"]  # entry written before this PR
+        sidecar.write_text(json.dumps(meta))
+        info = cache.entry_info("svm", {"seed": 1})
+        assert info is not None
+        assert info.created_at is None
+        assert info.age is None
+        assert not info.stamped
+
+    def test_stats_age_fields(self, tmp_path):
+        cache, state = self.make(tmp_path)
+        cache.put("a", {"seed": 1}, "x")
+        state["now"] = 110.0
+        cache.put("b", {"seed": 1}, "y")
+        state["now"] = 130.0
+        stats = cache.stats()
+        assert stats["age_tracked"] == 2
+        assert stats["age_min"] == 20.0
+        assert stats["age_max"] == 30.0
+        assert stats["age_mean"] == 25.0
+
+    def test_stats_age_fields_empty_cache(self, tmp_path):
+        cache, _ = self.make(tmp_path)
+        stats = cache.stats()
+        assert stats["age_tracked"] == 0
+        assert stats["age_min"] == 0.0
+        assert stats["age_max"] == 0.0
+        assert stats["age_mean"] == 0.0
+
+    def test_set_clock_rebinds(self, tmp_path):
+        cache = ArtifactCache(tmp_path)  # defaults to wall time
+        cache.set_clock(lambda: 500.0)
+        cache.put("svm", {"seed": 1}, "artifact")
+        info = cache.entry_info("svm", {"seed": 1})
+        assert info.created_at == 500.0
+        assert info.age == 0.0

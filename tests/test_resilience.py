@@ -199,6 +199,163 @@ class TestCircuitBreaker:
             CircuitBreaker(scheduler, cooldown=0.0)
 
 
+class TestHalfOpenConcurrentProbes:
+    """Half-open recovery probed by several workers at once, with a
+    bulkhead in front of the backend — the interaction the serving
+    daemon relies on.  All concurrency is modelled as interleaved
+    events on the simulation clock, so every run is deterministic."""
+
+    def make(self, *, half_open_probes=2, bulkhead_capacity=2):
+        scheduler = EventScheduler()
+        ledger = ResilienceLedger()
+        breaker = CircuitBreaker(
+            scheduler,
+            name="backend",
+            failure_threshold=0.5,
+            window=4,
+            min_calls=2,
+            cooldown=10.0,
+            half_open_probes=half_open_probes,
+            ledger=ledger,
+        )
+        bulkhead = Bulkhead(bulkhead_capacity, name="backend", ledger=ledger)
+        return scheduler, breaker, bulkhead, ledger
+
+    def trip(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+
+    def start_probe(self, breaker, bulkhead):
+        """One worker's probe attempt: breaker gate, then bulkhead gate.
+
+        Returns a finish callback when the probe is admitted, None when
+        it was turned away by either guard.
+        """
+        if not breaker.allow():
+            return None
+        try:
+            bulkhead.acquire()
+        except BulkheadFullError:
+            return None
+        breaker.begin_probe()
+
+        def finish(ok):
+            bulkhead.release()
+            if ok:
+                breaker.record_success()
+            else:
+                breaker.record_failure()
+
+        return finish
+
+    def test_probe_quota_caps_concurrent_probes(self):
+        scheduler, breaker, bulkhead, _ = self.make(half_open_probes=2)
+        self.trip(breaker)
+        outcomes = {}
+
+        def worker(name, duration, ok):
+            finish = self.start_probe(breaker, bulkhead)
+            if finish is None:
+                outcomes[name] = "rejected"
+                return
+            outcomes[name] = "probing"
+            scheduler.schedule(duration, lambda: finish(ok))
+
+        # Cool-down ends at t=10; three workers race to probe at t=11.
+        scheduler.schedule_at(11.0, lambda: worker("a", 2.0, True))
+        scheduler.schedule_at(11.0, lambda: worker("b", 2.0, True))
+        scheduler.schedule_at(11.0, lambda: worker("c", 2.0, True))
+        scheduler.run(until=11.5)
+        # Only the probe quota got through; the third was shed by the
+        # breaker itself, not the bulkhead.
+        assert outcomes == {"a": "probing", "b": "probing", "c": "rejected"}
+        assert breaker.probes_inflight == 2
+        assert bulkhead.in_use == 2
+        scheduler.run(until=20.0)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.probes_inflight == 0
+        assert bulkhead.in_use == 0
+
+    def test_bulkhead_tighter_than_probe_quota(self):
+        scheduler, breaker, bulkhead, ledger = self.make(
+            half_open_probes=2, bulkhead_capacity=1
+        )
+        self.trip(breaker)
+        admitted = []
+
+        def worker(name):
+            finish = self.start_probe(breaker, bulkhead)
+            if finish is not None:
+                admitted.append(name)
+                scheduler.schedule(2.0, lambda: finish(True))
+
+        scheduler.schedule_at(11.0, lambda: worker("a"))
+        scheduler.schedule_at(11.2, lambda: worker("b"))
+        scheduler.run(until=12.0)
+        # The breaker would allow a second probe, but the bulkhead is
+        # the tighter guard — worker b never reached the backend.
+        assert admitted == ["a"]
+        assert breaker.probes_inflight == 1
+        assert bulkhead.rejected == 1
+        scheduler.run(until=20.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_first_probe_failure_reopens_while_peer_inflight(self):
+        scheduler, breaker, bulkhead, ledger = self.make(half_open_probes=2)
+        self.trip(breaker)
+        finishes = []
+
+        def launch():
+            for _ in range(2):
+                finish = self.start_probe(breaker, bulkhead)
+                assert finish is not None
+                finishes.append(finish)
+
+        scheduler.schedule_at(11.0, launch)
+        # Probe 1 fails at t=12 -> the breaker reopens immediately.
+        scheduler.schedule_at(12.0, lambda: finishes[0](False))
+        # Probe 2 straggles in successfully at t=13 — too late to close.
+        scheduler.schedule_at(13.0, lambda: finishes[1](True))
+        scheduler.run(until=14.0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 2
+        assert bulkhead.in_use == 0
+        # The straggler's success must not have closed the breaker; the
+        # next recovery attempt is a fresh cool-down cycle.
+        scheduler.run(until=30.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_probe_slots_recycle_within_half_open(self):
+        scheduler, breaker, bulkhead, _ = self.make(half_open_probes=1)
+        self.trip(breaker)
+        scheduler.run(until=11.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        # First probe occupies the single slot...
+        first = self.start_probe(breaker, bulkhead)
+        assert first is not None
+        assert self.start_probe(breaker, bulkhead) is None
+        # ...fails, reopening; after another cool-down the slot is free
+        # again for the next probe, which succeeds and closes.
+        first(False)
+        assert breaker.state is BreakerState.OPEN
+        scheduler.run(until=25.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        second = self.start_probe(breaker, bulkhead)
+        assert second is not None
+        second(True)
+        assert breaker.state is BreakerState.CLOSED
+        assert bulkhead.in_use == 0
+
+    def test_closed_state_calls_are_not_probes(self):
+        _, breaker, bulkhead, _ = self.make()
+        finish = self.start_probe(breaker, bulkhead)
+        assert finish is not None
+        assert breaker.probes_inflight == 0  # begin_probe no-ops closed
+        finish(True)
+        assert breaker.state is BreakerState.CLOSED
+
+
 class _Flaky:
     """A child that dies a configurable number of times when poked."""
 
