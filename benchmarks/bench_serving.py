@@ -27,6 +27,7 @@ import pathlib
 
 from conftest import once
 
+from repro.observability import TrajectoryStore
 from repro.serving import (
     DEFAULT_BUDGETS,
     StubBackend,
@@ -97,6 +98,12 @@ def test_bench_overload_ab_gate(benchmark, tmp_path):
     out = ARTIFACTS / "serving_ab.json"
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    # Full observability export (daemon metrics + ledger bridge) per arm —
+    # the artifact CI uploads alongside the summary.
+    metrics_out = ARTIFACTS / "serving_metrics.jsonl"
+    metrics_out.write_text(
+        hardened.metrics_jsonl + bare.metrics_jsonl, encoding="utf-8"
+    )
 
 
 def test_bench_replay_determinism(benchmark):
@@ -121,7 +128,12 @@ def test_bench_replay_determinism(benchmark):
 
 
 def _record_trajectory(report) -> None:
-    """Append this PR's headline numbers to the committed trajectory file."""
+    """Refresh this bench's entry in the committed trajectory file.
+
+    One entry per bench id (reruns replace in place; history stays in
+    git); CI gates the refreshed file against the committed baseline with
+    ``repro trajectory --check``.
+    """
     entry = {
         "bench": "serving_overload_ab",
         "trace_requests": report.trace_requests,
@@ -136,12 +148,4 @@ def _record_trajectory(report) -> None:
         "degraded": (report.hardened.stats["served_stale"]
                      + report.hardened.stats["served_heuristic"]),
     }
-    if TRAJECTORY.exists():
-        data = json.loads(TRAJECTORY.read_text())
-    else:
-        data = {"entries": []}
-    # One entry per bench id: reruns refresh in place, history stays in git.
-    data["entries"] = [
-        e for e in data["entries"] if e.get("bench") != entry["bench"]
-    ] + [entry]
-    TRAJECTORY.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    TrajectoryStore(TRAJECTORY).record(entry)

@@ -13,6 +13,8 @@ adversary    Control-plane adversary: violate an invariant, minimize the trace.
 fuzz         Coverage-guided fault-schedule fuzzing over a parameterized topology.
 lint         Run sdnlint: taxonomy-mapped AST bug-pattern checks + smells.
 serve        Run the overload-robust triage serving daemon over a seeded trace.
+metrics      Render an observability report (spans + metrics) from a run dir.
+trajectory   Inspect or gate the persistent benchmark trajectory.
 experiments  List every reproducible paper artifact and its bench.
 """
 
@@ -461,6 +463,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ratio = report.goodput_ratio
         print(f"goodput ratio (hardened/bare): "
               f"{'inf' if ratio == float('inf') else f'{ratio:.2f}x'}")
+        for arm in (report.hardened, report.bare):
+            arm_path = workdir / f"{arm.name}_metrics.jsonl"
+            arm_path.write_text(arm.metrics_jsonl, encoding="utf-8")
+        print(f"metrics export: {workdir}/{{hardened,bare}}_metrics.jsonl "
+              f"(render with 'repro metrics --run-dir {workdir}')")
         return 0
 
     from repro.resilience.ledger import ResilienceLedger
@@ -480,6 +487,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     replay(trace, daemon)
     daemon.run(until=traffic.duration + args.settle)
     daemon.close()
+    from repro.observability.instrument import ledger_to_metrics
+
+    ledger_to_metrics(ledger, daemon.metrics)
+    metrics_path = workdir / "serve_metrics.jsonl"
+    metrics_path.write_text(daemon.metrics.export_jsonl(), encoding="utf-8")
     stats = daemon.stats
     latencies = [r.latency for r in daemon.responses if r.answered]
     mode = "bare" if args.bare else "hardened"
@@ -493,6 +505,60 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"p99 {percentile(latencies, 99.0):.3f}s")
     print(f"resilience ledger: {ledger.summary()}")
     print(f"request journal: {request_log.path}")
+    print(f"metrics export: {metrics_path} (render with 'repro metrics "
+          f"--run-dir {workdir}')")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.observability import collect_run, render_json, render_text
+
+    report = collect_run(args.run_dir)
+    rendered = (
+        render_json(report) if args.format == "json" else render_text(report)
+    )
+    print(rendered, end="")
+    if args.output:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(rendered, encoding="utf-8")
+    return 0
+
+
+def _cmd_trajectory(args: argparse.Namespace) -> int:
+    from repro.observability.trajectory import (
+        DEFAULT_GATES,
+        GateRule,
+        TrajectoryStore,
+    )
+
+    store = TrajectoryStore(args.file)
+    gates = (
+        [GateRule.parse(spec) for spec in args.gate]
+        if args.gate
+        else list(DEFAULT_GATES)
+    )
+    if args.check:
+        # Raises TrajectoryGateError (a ReproError -> exit 2) on regression.
+        results = store.check(args.candidate, gates=gates)
+        for result in results:
+            print(result.describe())
+        print(f"trajectory check passed ({len(results)} gate(s) evaluated)")
+        return 0
+    entries = store.load()
+    if not entries:
+        print(f"{store.path}: no trajectory entries yet")
+        return 0
+    for entry in entries:
+        bench = entry.get("bench", "?")
+        metrics = ", ".join(
+            f"{key}={entry[key]:g}"
+            for key in sorted(entry)
+            if key != "bench"
+            and isinstance(entry[key], (int, float))
+            and not isinstance(entry[key], bool)
+        )
+        print(f"{bench}: {metrics}")
     return 0
 
 
@@ -670,6 +736,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workdir", default="benchmarks/artifacts/serve",
                    help="request journal + lint workspace live here")
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "metrics",
+        help="render an observability report (journal spans + metrics "
+             "exports) from a run directory",
+    )
+    p.add_argument("--run-dir", default="benchmarks/artifacts/serve",
+                   help="directory (or single .jsonl file) to scan")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--output", help="also write the report to this file")
+    p.set_defaults(fn=_cmd_metrics)
+
+    p = sub.add_parser(
+        "trajectory",
+        help="inspect or gate the persistent benchmark trajectory",
+    )
+    p.add_argument("--file", default="benchmarks/BENCH_trajectory.json",
+                   help="baseline trajectory file")
+    p.add_argument("--check", action="store_true",
+                   help="evaluate regression gates (exit 2 on regression)")
+    p.add_argument("--candidate",
+                   help="candidate trajectory to gate against --file "
+                        "(default: the baseline gates itself)")
+    p.add_argument("--gate", action="append", metavar="BENCH:METRIC:DIR:TOL",
+                   help="override gates, e.g. "
+                        "serving_overload_ab:goodput_hardened:higher:0.1 "
+                        "(repeatable)")
+    p.set_defaults(fn=_cmd_trajectory)
 
     p = sub.add_parser("experiments", help="list reproducible artifacts")
     p.set_defaults(fn=_cmd_experiments)

@@ -95,6 +95,15 @@ class SupervisionError(ResilienceError):
     """A supervision tree exhausted its restart-intensity budget."""
 
 
+class ObservabilityError(ReproError):
+    """Invalid metric registration, malformed metrics export, or a
+    trajectory/gate configuration that cannot be evaluated."""
+
+
+class TrajectoryGateError(ObservabilityError):
+    """A benchmark trajectory check found a regression beyond tolerance."""
+
+
 class ServingError(ReproError):
     """Invalid serving-daemon configuration or request."""
 

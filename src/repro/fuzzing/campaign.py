@@ -229,6 +229,59 @@ def _violation_class(signature: str) -> str:
     return f"{parts[1]}:{parts[2]}"
 
 
+def _corpus_energy(entry: CorpusEntry) -> int:
+    """AFL-style power-schedule weight: discovery earns breeding rights."""
+    return min(len(entry.new_tokens), 8) + (4 if entry.violated else 0) + 1
+
+
+def state_metrics(state: FuzzState):
+    """Project a :class:`FuzzState` onto a ``MetricsRegistry``.
+
+    Derived purely from the snapshot (never from in-flight batch
+    bookkeeping), so a resumed campaign exports exactly the metrics an
+    uninterrupted run would — the same property the state fingerprint
+    guarantees.  Totals become counters, campaign levels become gauges,
+    and per-entry discovery sizes become the ``fuzz_new_tokens_per_entry``
+    histogram (coverage tokens minted per corpus entry).
+    """
+    from repro.observability.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.counter(
+        "fuzz_schedules_total", "Schedules executed"
+    ).inc(state.executed)
+    registry.counter(
+        "fuzz_violated_runs_total", "Schedules that violated an invariant"
+    ).inc(state.violated_runs)
+    registry.counter(
+        "fuzz_batches_total", "Journaled batches committed"
+    ).inc(state.batch_index + 1)
+    registry.gauge(
+        "fuzz_coverage_tokens", "Distinct monitor-state coverage tokens"
+    ).set(len(state.coverage))
+    registry.gauge(
+        "fuzz_violation_signatures", "Distinct violation signatures"
+    ).set(len(state.signatures))
+    registry.gauge(
+        "fuzz_corpus_entries", "Corpus entries holding unseen coverage"
+    ).set(len(state.corpus))
+    registry.gauge(
+        "fuzz_corpus_energy",
+        "Total power-schedule energy across the corpus",
+    ).set(sum(_corpus_energy(entry) for entry in state.corpus))
+    registry.gauge(
+        "fuzz_reproducers", "Minimized reproducers, one per violation class"
+    ).set(len(state.reproducers))
+    tokens_hist = registry.histogram(
+        "fuzz_new_tokens_per_entry",
+        "Coverage tokens minted per corpus entry",
+        buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+    )
+    for entry in state.corpus:
+        tokens_hist.observe(float(len(entry.new_tokens)))
+    return registry
+
+
 @dataclass
 class FuzzReport:
     """What a finished (or resumed-to-finished) campaign produced."""
@@ -276,10 +329,7 @@ class FuzzCampaign:
     def _pick_parent(self, rng: random.Random, state: FuzzState) -> CorpusEntry:
         # Energy = discovery: parents that minted more unseen tokens (plus a
         # bonus for violating ones) are bred more — AFL's power schedule.
-        weights = [
-            min(len(entry.new_tokens), 8) + (4 if entry.violated else 0) + 1
-            for entry in state.corpus
-        ]
+        weights = [_corpus_energy(entry) for entry in state.corpus]
         total = sum(weights)
         roll = rng.randrange(total)
         for entry, weight in zip(state.corpus, weights):
@@ -490,6 +540,8 @@ class FuzzCampaign:
             state.reproducers[key].to_dict() for key in sorted(state.reproducers)
         ]
         _atomic_json(self.run_dir / "reproducers.json", reproducers)
+        _atomic_text(self.run_dir / "metrics.jsonl",
+                     state_metrics(state).export_jsonl())
 
 
 def _atomic_json(path: Path, payload: Any) -> None:
@@ -497,6 +549,18 @@ def _atomic_json(path: Path, payload: Any) -> None:
     try:
         with tmp.open("w", encoding="utf-8") as handle:
             json.dump(payload, handle, sort_keys=True, indent=1)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _atomic_text(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with tmp.open("w", encoding="utf-8") as handle:
+            handle.write(text)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)

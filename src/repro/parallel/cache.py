@@ -402,3 +402,15 @@ class ArtifactCache:
             "age_max": round(max(ages), 6) if ages else 0.0,
             "age_mean": round(sum(ages) / len(ages), 6) if ages else 0.0,
         }
+
+    def metrics(self, registry=None):
+        """The :meth:`stats` dict normalized onto a ``MetricsRegistry``.
+
+        Built on demand (the cache itself stays free of registry state so
+        it remains picklable across process-pool boundaries): tallies
+        become ``cache_*_total`` counters, the age profile becomes
+        ``cache_age_*`` gauges.  Returns the registry.
+        """
+        from repro.observability.instrument import cache_to_metrics
+
+        return cache_to_metrics(self, registry)

@@ -92,6 +92,47 @@ class PipelineResult:
         raise KeyError(name)
 
 
+def result_metrics(result: PipelineResult, registry=None):
+    """Project a finished :class:`PipelineResult` onto a registry.
+
+    Stage outcomes become ``pipeline_stages_total{outcome}`` (computed vs
+    cache-hit vs journal-skip), stage wall times feed the
+    ``pipeline_stage_seconds{stage}`` histogram, and corpus dimensions
+    become gauges.  Returns the registry.
+    """
+    from repro.observability.metrics import MetricsRegistry
+
+    registry = registry if registry is not None else MetricsRegistry()
+    outcomes = registry.counter(
+        "pipeline_stages_total",
+        "Pipeline stages by execution outcome",
+        labels=["outcome"],
+    )
+    seconds = registry.histogram(
+        "pipeline_stage_seconds",
+        "Wall-clock seconds per pipeline stage",
+        labels=["stage"],
+        buckets=(0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0),
+    )
+    skipped = set(result.skipped_stages)
+    for timing in result.stages:
+        if timing.stage in skipped:
+            outcome = "journal_skip"
+        elif timing.cache_hit:
+            outcome = "cache_hit"
+        else:
+            outcome = "computed"
+        outcomes.labels(outcome=outcome).inc()
+        seconds.labels(stage=timing.stage).observe(timing.seconds)
+    registry.gauge(
+        "pipeline_documents", "Documents vectorized"
+    ).set(result.n_documents)
+    registry.gauge(
+        "pipeline_features", "TF-IDF vocabulary size"
+    ).set(result.n_features)
+    return registry
+
+
 class _Timer:
     def __init__(self, result: PipelineResult, stage: str) -> None:
         self.result = result
@@ -176,6 +217,7 @@ def run_pipeline(
     resume: str | None = None,
     journal_root: str | Path | None = None,
     on_journal_event: Callable[[JournalEvent], None] | None = None,
+    metrics=None,
 ) -> PipelineResult:
     """Run the full NLP scaling pipeline once.
 
@@ -183,7 +225,9 @@ def run_pipeline(
     (optional) skips stages whose full configuration is already stored.
     ``run_id`` journals every stage begin/commit so a killed run can be
     continued with ``resume=run_id``: committed stages are verified against
-    the journal's digests and skipped, the rest re-execute.
+    the journal's digests and skipped, the rest re-execute.  ``metrics``
+    (an observability ``MetricsRegistry``) receives the stage-outcome
+    projection from :func:`result_metrics` when the run finishes.
     """
     from repro.corpus import CorpusGenerator
     from repro.ml.nmf import nmf_multi_restart
@@ -294,4 +338,6 @@ def run_pipeline(
             journal.close()
     if manager is not None:
         result.skipped_stages = manager.skipped_stages()
+    if metrics is not None:
+        result_metrics(result, metrics)
     return result

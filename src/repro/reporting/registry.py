@@ -259,6 +259,15 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "benchmarks/bench_serving.py",
         ("repro.serving", "repro.resilience", "repro.parallel", "repro.recovery"),
     ),
+    Experiment(
+        "observability-trajectory",
+        "the paper's measurement method, inward (extension)",
+        "metrics + span plane over the runtime: deterministic registries, "
+        "journal-derived span trees bit-identical across kill/resume, and "
+        "a gated goodput/p99 trajectory in BENCH_trajectory.json",
+        "benchmarks/bench_serving.py",
+        ("repro.observability", "repro.serving", "repro.recovery"),
+    ),
 )
 
 

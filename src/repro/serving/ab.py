@@ -22,6 +22,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.observability.instrument import ledger_to_metrics
 from repro.resilience.ledger import ResilienceEvent, ResilienceLedger
 from repro.sdnsim.clock import EventScheduler
 from repro.serving.daemon import ServingConfig, ServingDaemon
@@ -81,6 +82,10 @@ class ArmReport:
     ledger_events: dict[str, int]
     unaccounted_drops: int
     fingerprint: str
+    #: Full observability export (daemon metrics + ledger bridge) in the
+    #: registry JSONL format.  Deliberately absent from :meth:`to_dict`
+    #: so summary JSON stays small; benches write it as an artifact.
+    metrics_jsonl: str = field(default="", repr=False)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -198,6 +203,10 @@ def run_arm(
         unaccounted_drops=_account_drops(responses, ledger),
         fingerprint=fingerprint(responses),
     )
+    # Fold the ledger's priced actions into the daemon's live registry so
+    # one JSONL artifact carries the whole arm (pure post-run projection).
+    ledger_to_metrics(ledger, daemon.metrics)
+    report.metrics_jsonl = daemon.metrics.export_jsonl()
     return report, daemon
 
 

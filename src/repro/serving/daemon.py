@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import ServingError
+from repro.observability.metrics import MetricsRegistry
 from repro.parallel import ArtifactCache
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.ledger import ResilienceEvent, ResilienceLedger
@@ -46,6 +47,7 @@ from repro.resilience.policies import Bulkhead
 from repro.sdnsim.clock import EventScheduler
 from repro.serving.admission import AdmissionController
 from repro.serving.request import (
+    ANSWERED,
     KIND_COSTS,
     Request,
     RequestClass,
@@ -58,6 +60,10 @@ from repro.taxonomy import Symptom, Trigger
 
 #: Cache namespace for served full-quality responses (the warm tier).
 RESPONSE_NAMESPACE = "serving-responses"
+
+#: Latency histogram buckets (simulated seconds): sub-batch service times
+#: through bare-mode collapse.  Fixed here so A/B arms always share edges.
+LATENCY_BUCKETS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0)
 
 
 @dataclass(frozen=True)
@@ -188,6 +194,42 @@ class ServingDaemon:
         self.request_log = request_log
         self.stats = ServingStats()
         self.responses: list[Response] = []
+        # Live metrics, stamped by the simulation clock so two same-seed
+        # runs export byte-identical JSONL.  Pure observation: nothing in
+        # the serving path reads these back.
+        self.metrics = MetricsRegistry(clock=lambda: self.clock.now)
+        self._m_requests = self.metrics.counter(
+            "serving_requests_total",
+            "Terminal responses by kind and status",
+            labels=["kind", "status"],
+        )
+        self._m_shed = self.metrics.counter(
+            "serving_shed_total", "Requests rejected at admission"
+        )
+        self._m_expired = self.metrics.counter(
+            "serving_expired_total", "Requests cancelled in queue past deadline"
+        )
+        self._m_degraded = self.metrics.counter(
+            "serving_degraded_total",
+            "Degraded answers by fallback tier",
+            labels=["tier"],
+        )
+        self._m_batches = self.metrics.counter(
+            "serving_batches_total",
+            "Executed micro-batches by service mode",
+            labels=["mode"],
+        )
+        self._m_queue_depth = self.metrics.gauge(
+            "serving_queue_depth",
+            "Requests waiting, per class queue",
+            labels=["klass"],
+        )
+        self._m_latency = self.metrics.histogram(
+            "serving_latency_seconds",
+            "Arrival-to-delivery latency of answered requests, per class",
+            labels=["klass"],
+            buckets=LATENCY_BUCKETS,
+        )
         self._queues: dict[RequestClass, deque[_QueueEntry]] = {
             RequestClass.INTERACTIVE: deque(),
             RequestClass.BATCH: deque(),
@@ -275,6 +317,7 @@ class ServingDaemon:
             )
             if not verdict.admitted:
                 self.stats.shed += 1
+                self._m_shed.inc()
                 if self.request_log is not None:
                     self.request_log.log_shed(request, verdict.reason)
                 self._finalize(
@@ -297,7 +340,12 @@ class ServingDaemon:
         klass = self._class_for(request)
         self._queues[klass].append(_QueueEntry(request, enqueued_at=now))
         self._queued_cost[klass] += request.cost().solo_cost
+        self._observe_queues()
         self._schedule_drain()
+
+    def _observe_queues(self) -> None:
+        for klass, queue in self._queues.items():
+            self._m_queue_depth.labels(klass=klass.value).set(len(queue))
 
     # -- the serving loop ------------------------------------------------------
     def _schedule_drain(self) -> None:
@@ -322,6 +370,7 @@ class ServingDaemon:
         self.stats.batches += 1
         self.stats.batched_requests += len(batch)
         degrade = self._should_degrade(kind, batch)
+        self._m_batches.labels(mode="degraded" if degrade else "full").inc()
         if degrade:
             self.stats.degraded_batches += 1
             cost = (self.config.cached_cost + self.config.heuristic_cost) * len(batch)
@@ -348,6 +397,7 @@ class ServingDaemon:
                 self._queued_cost[klass] -= request.cost().solo_cost
                 self._release_quota(request)
                 self.stats.expired += 1
+                self._m_expired.inc()
                 waited = now - entry.enqueued_at
                 self.ledger.record(
                     ResilienceEvent.GIVE_UP,
@@ -378,6 +428,7 @@ class ServingDaemon:
                 )
             self._queues[klass] = survivors
             self._queued_cost[klass] = max(0.0, self._queued_cost[klass])
+        self._observe_queues()
 
     def _form_batch(self) -> list[_QueueEntry]:
         """Take up to ``max_batch`` same-kind requests from the
@@ -401,6 +452,7 @@ class ServingDaemon:
             for entry in batch:
                 self._queued_cost[klass] -= entry.request.cost().solo_cost
             self._queued_cost[klass] = max(0.0, self._queued_cost[klass])
+            self._observe_queues()
             return batch
         return []
 
@@ -500,6 +552,7 @@ class ServingDaemon:
                 age = info.age if info is not None else None
                 if age is None or age <= self.config.stale_max_age:
                     self.stats.served_stale += 1
+                    self._m_degraded.labels(tier="cached").inc()
                     self._deliver(
                         request,
                         Response(
@@ -523,6 +576,7 @@ class ServingDaemon:
             )
             return
         self.stats.served_heuristic += 1
+        self._m_degraded.labels(tier="heuristic").inc()
         self._deliver(
             request,
             Response(
@@ -608,6 +662,13 @@ class ServingDaemon:
             response.deadline_met = False
         else:
             response.deadline_met = response.completed <= request.deadline
+        self._m_requests.labels(
+            kind=request.kind.value, status=response.status.value
+        ).inc()
+        if response.status in ANSWERED:
+            self._m_latency.labels(klass=request.klass.value).observe(
+                response.latency
+            )
         if self.request_log is not None and response.status not in (
             ResponseStatus.SHED, ResponseStatus.EXPIRED,
         ):

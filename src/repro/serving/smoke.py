@@ -22,6 +22,7 @@ import sys
 import tempfile
 from pathlib import Path
 
+from repro.observability.instrument import ledger_to_metrics
 from repro.resilience.ledger import ResilienceLedger
 from repro.sdnsim.clock import EventScheduler
 from repro.serving.ab import _account_drops, fingerprint, goodput, percentile
@@ -90,6 +91,12 @@ def run_smoke(out: str | None = None, workdir: str | None = None) -> int:
                 "admitted but never terminally recorded after a clean run"
             )
 
+    # Full observability export alongside the summary: daemon metrics plus
+    # the ledger bridge, in the registry JSONL format CI uploads.
+    ledger_to_metrics(ledger, daemon.metrics)
+    metrics_path = base / "serve_metrics.jsonl"
+    metrics_path.write_text(daemon.metrics.export_jsonl(), encoding="utf-8")
+
     latencies = [r.latency for r in daemon.responses if r.answered]
     summary = {
         "trace_requests": len(trace.requests),
@@ -101,6 +108,7 @@ def run_smoke(out: str | None = None, workdir: str | None = None) -> int:
         "stats": stats.to_dict(),
         "ledger": ledger.summary(),
         "fingerprint": fingerprint(daemon.responses),
+        "metrics_file": str(metrics_path),
         "failures": failures,
     }
     if out:
