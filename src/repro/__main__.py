@@ -11,6 +11,7 @@ chaos        Run a Chaos-Monkey fuzzing campaign.
 resilience   A/B fault campaign: bare scenarios vs the resilience runtime.
 adversary    Control-plane adversary: violate an invariant, minimize the trace.
 fuzz         Coverage-guided fault-schedule fuzzing over a parameterized topology.
+ingest       Fault-tolerant streaming ingestion of tracker events.
 lint         Run sdnlint: taxonomy-mapped AST bug-pattern checks + smells.
 serve        Run the overload-robust triage serving daemon over a seeded trace.
 metrics      Render an observability report (spans + metrics) from a run dir.
@@ -337,6 +338,60 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
               f"({repro_entry.replays} replays / {repro_entry.probes} probes)")
     print(f"state fingerprint: {report.state.fingerprint()[:16]}...")
     print(f"coverage map + reproducers under {report.run_dir}")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.stream import IngestConfig, replay_dlq, run_ingest
+
+    if args.replay_dlq:
+        outcome = replay_dlq(args.run_dir)
+        print(f"DLQ replay: {outcome['recovered']} recovered "
+              f"({outcome['applied']} applied, {outcome['deduped']} deduped), "
+              f"{outcome['remaining']} irrecoverable entr(y/ies) kept")
+        return 0
+
+    config = IngestConfig(
+        seed=args.seed,
+        events=args.events,
+        batch=args.batch,
+        block=args.block,
+        pool=args.pool,
+        outage_rate=args.outage_rate,
+        outage_depth=args.outage_depth,
+        rate_limit_rate=args.rate_limit_rate,
+        corrupt_rate=args.corrupt_rate,
+        duplicate_rate=args.duplicate_rate,
+        reorder_rate=args.reorder_rate,
+        queue_capacity=args.queue_capacity,
+        retry_attempts=args.retry_attempts,
+        learn=not args.no_learn,
+    )
+    report = run_ingest(
+        config,
+        args.run_dir,
+        resume=args.resume,
+        progress=lambda msg: print(f"  {msg}"),
+    )
+    state = report.state
+    print(report.summary())
+    rows = [[etype, str(count)] for etype, count in sorted(state.by_type.items())]
+    if rows:
+        print(ascii_table(["event type", "applied"], rows,
+                          title="Applied events by type"))
+    window = state.dist.window()
+    if window:
+        top = sorted(window.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+        print("rolling symptom|root-cause window (top 5): "
+              + ", ".join(f"{key}={count}" for key, count in top))
+    if state.model is not None:
+        print(f"online model: {len(state.model.classes_)} classes over "
+              f"{state.trained} labeled samples")
+    print(f"resilience: {report.ledger.summary()}")
+    print(f"DLQ depth {report.dlq_depth} "
+          f"(replay with 'repro ingest --run-dir {report.run_dir} --replay-dlq')")
+    print(f"state fingerprint: {state.fingerprint()[:16]}...")
+    print(f"journal + snapshots + metrics under {report.run_dir}")
     return 0
 
 
@@ -685,6 +740,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="resume the journaled campaign in --run-dir")
     p.set_defaults(fn=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "ingest",
+        help="fault-tolerant streaming ingestion of tracker events "
+             "(journaled, exactly-once, dead-lettered)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--events", type=int, default=20000,
+                   help="base events in the synthetic stream")
+    p.add_argument("--batch", type=int, default=2048,
+                   help="base events per journaled batch")
+    p.add_argument("--block", type=int, default=64,
+                   help="base events per fetch block")
+    p.add_argument("--pool", type=int, default=5000,
+                   help="distinct synthetic bug ids")
+    p.add_argument("--outage-rate", type=float, default=0.1,
+                   help="per-block probability of an upstream outage")
+    p.add_argument("--outage-depth", type=int, default=2,
+                   help="max consecutive attempts an outage eats")
+    p.add_argument("--rate-limit-rate", type=float, default=0.05,
+                   help="per-block probability of throttling")
+    p.add_argument("--corrupt-rate", type=float, default=0.01,
+                   help="per-record probability of corruption")
+    p.add_argument("--duplicate-rate", type=float, default=0.05,
+                   help="per-record probability of duplicate delivery")
+    p.add_argument("--reorder-rate", type=float, default=0.2,
+                   help="per-block probability of delivery reordering")
+    p.add_argument("--queue-capacity", type=int, default=256,
+                   help="backpressure queue bound (records)")
+    p.add_argument("--retry-attempts", type=int, default=4,
+                   help="retries granted per block after the first attempt")
+    p.add_argument("--no-learn", action="store_true",
+                   help="disable the online partial_fit learner")
+    p.add_argument("--run-dir", default="benchmarks/artifacts/ingest",
+                   help="journal + snapshots + DLQ + metrics live here")
+    p.add_argument("--resume", action="store_true",
+                   help="resume the journaled run in --run-dir")
+    p.add_argument("--replay-dlq", action="store_true",
+                   help="leniently replay the dead-letter queue instead of "
+                        "ingesting")
+    p.set_defaults(fn=_cmd_ingest)
 
     p = sub.add_parser(
         "lint",

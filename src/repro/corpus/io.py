@@ -9,6 +9,7 @@ have to guess about.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
@@ -70,6 +71,8 @@ def load_dataset_jsonl(path: str | Path) -> BugDataset:
     writer — raises :class:`CorpusError` with the offending line number.
     """
     path = Path(path)
+    if not path.exists():
+        raise CorpusError(f"{path}: dataset file does not exist")
     bugs: list[LabeledBug] = []
     with path.open(encoding="utf-8-sig") as handle:
         for line_number, line in enumerate(handle, start=1):
@@ -113,6 +116,7 @@ def save_dataset_shards(
     base, remainder = divmod(len(bugs), n_shards)
     paths: list[Path] = []
     counts: list[int] = []
+    digests: list[str] = []
     start = 0
     for index in range(n_shards):
         size = base + (1 if index < remainder else 0)
@@ -122,11 +126,16 @@ def save_dataset_shards(
         save_dataset_jsonl(shard, path)
         paths.append(path)
         counts.append(size)
+        digests.append(hashlib.sha256(path.read_bytes()).hexdigest())
     manifest = {
         "n_shards": n_shards,
         "counts": counts,
         "total": len(bugs),
         "shards": [p.name for p in paths],
+        # Per-shard content digests: loads verify bytes, not just record
+        # counts, so a bit-flipped or hand-edited shard is refused by name
+        # instead of silently feeding a corrupted dataset downstream.
+        "digests": digests,
     }
     # The manifest is published last and atomically: a crash mid-layout
     # leaves either the previous manifest (still describing a complete old
@@ -157,13 +166,27 @@ def load_dataset_shards(
         shard_names = list(manifest["shards"])
         counts = list(manifest["counts"])
         total = int(manifest["total"])
+        # Older manifests carry no digests; loads of those skip byte
+        # verification (count checks still apply) instead of refusing.
+        digests = [str(d) for d in manifest.get("digests", [])]
     except (KeyError, ValueError, TypeError) as exc:
         raise CorpusError(f"{manifest_path}: malformed manifest: {exc}") from exc
     paths = []
-    for name in shard_names:
+    for index, name in enumerate(shard_names):
         path = directory / name
         if not path.exists():
-            raise CorpusError(f"{directory}: manifest lists missing shard {name}")
+            raise CorpusError(
+                f"{path}: shard file is missing but {manifest_path.name} "
+                f"entry shards[{index}] ({name!r}) lists it"
+            )
+        if index < len(digests):
+            actual = hashlib.sha256(path.read_bytes()).hexdigest()
+            if actual != digests[index]:
+                raise CorpusError(
+                    f"{path}: shard digest mismatch — {manifest_path.name} "
+                    f"entry digests[{index}] promises "
+                    f"{digests[index][:12]}..., file hashes {actual[:12]}..."
+                )
         paths.append(path)
     if pool is None:
         shards = [load_dataset_jsonl(path) for path in paths]

@@ -104,6 +104,31 @@ class TrajectoryGateError(ObservabilityError):
     """A benchmark trajectory check found a regression beyond tolerance."""
 
 
+class StreamError(ReproError):
+    """Malformed stream event, invalid ingest configuration, or a stream
+    state snapshot that cannot be honored."""
+
+
+class TransientSourceError(StreamError):
+    """A fetch against an event source failed in a retryable way."""
+
+
+class SourceOutageError(TransientSourceError):
+    """The upstream tracker was unreachable for this fetch attempt."""
+
+
+class RateLimitedError(TransientSourceError):
+    """The upstream tracker throttled this fetch attempt.
+
+    ``retry_after`` carries the server's requested backoff in simulated
+    seconds; retry loops honor it as a floor under their own schedule.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class ServingError(ReproError):
     """Invalid serving-daemon configuration or request."""
 

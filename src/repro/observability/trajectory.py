@@ -125,6 +125,17 @@ DEFAULT_GATES: tuple[GateRule, ...] = (
     GateRule("serving_overload_ab", "goodput_hardened", DIRECTION_HIGHER, 0.10),
     GateRule("serving_overload_ab", "goodput_ratio", DIRECTION_HIGHER, 0.10),
     GateRule("serving_overload_ab", "p99_hardened", DIRECTION_LOWER, 0.25),
+    # Streaming ingest counters are pure functions of (seed, config), so
+    # any drift at all is a behavior change: ``applied`` is gated in both
+    # directions (exact equality), the loss counters may only shrink, and
+    # ``unaccounted`` is pinned to its committed value of zero.
+    # Throughput (events/s wall clock) is recorded in the trajectory but
+    # deliberately ungated: CI machines vary, determinism does not.
+    GateRule("streaming_ingest", "applied", DIRECTION_HIGHER, 0.0),
+    GateRule("streaming_ingest", "applied", DIRECTION_LOWER, 0.0),
+    GateRule("streaming_ingest", "dead_lettered", DIRECTION_LOWER, 0.0),
+    GateRule("streaming_ingest", "lost_upstream", DIRECTION_LOWER, 0.0),
+    GateRule("streaming_ingest", "unaccounted", DIRECTION_LOWER, 0.0),
 )
 
 

@@ -260,6 +260,17 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         ("repro.serving", "repro.resilience", "repro.parallel", "repro.recovery"),
     ),
     Experiment(
+        "streaming-ingest",
+        "SS II-B at stream scale (extension)",
+        "fault-tolerant streaming ingestion: >=1M synthetic tracker events "
+        "under outages/corruption/duplication with exact accounting "
+        "(applied + deduped + dead-lettered == emitted), SIGKILL-resume "
+        "bit-identity, and a partial_fit SVM within 2 points of batch",
+        "benchmarks/bench_streaming_ingest.py",
+        ("repro.stream", "repro.resilience", "repro.recovery",
+         "repro.observability"),
+    ),
+    Experiment(
         "observability-trajectory",
         "the paper's measurement method, inward (extension)",
         "metrics + span plane over the runtime: deterministic registries, "

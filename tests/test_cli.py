@@ -133,6 +133,17 @@ class TestCommands:
         assert "goodput" in out
         assert (tmp_path / "requests.journal").exists()
 
+    def test_ingest_smoke(self, tmp_path, capsys):
+        assert main(["ingest", "--events", "300", "--batch", "100",
+                     "--block", "25", "--pool", "60", "--seed", "3",
+                     "--corrupt-rate", "0.05", "--duplicate-rate", "0.1",
+                     "--run-dir", str(tmp_path / "run")]) == 0
+        out = capsys.readouterr().out
+        assert "records consumed" in out
+        assert "fingerprint" in out
+        assert (tmp_path / "run" / "journal.jsonl").exists()
+        assert (tmp_path / "run" / "metrics.jsonl").exists()
+
     def test_serve_bare_smoke(self, tmp_path, capsys):
         assert main(["serve", "--duration", "5", "--base-rate", "2",
                      "--bursts", "0", "--seed", "3", "--bare",
@@ -151,6 +162,24 @@ class TestErrorHandling:
         assert excinfo.value.code == 2
         err = capsys.readouterr().err
         assert "did you mean 'serve'?" in err
+        assert "Traceback" not in err
+
+    def test_misspelled_ingest_exits_2_with_hint(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["ingst"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'ingest'?" in err
+        assert "Traceback" not in err
+
+    def test_ingest_replay_without_journal_is_one_line_error(
+            self, tmp_path, capsys):
+        code = main(["ingest", "--replay-dlq",
+                     "--run-dir", str(tmp_path / "no-such-run")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro ingest: error:")
+        assert "no ingest journal" in err
         assert "Traceback" not in err
 
     def test_unknown_flag_exits_2(self, capsys):

@@ -423,16 +423,51 @@ class TestShardedIO:
         with pytest.raises(CorpusError, match="missing shard manifest"):
             load_dataset_shards(tmp_path)
 
-    def test_missing_shard_file(self, dataset, tmp_path):
+    def test_missing_shard_file_names_file_and_manifest_entry(
+            self, dataset, tmp_path):
         subset = dataset.sample(6, seed=12)
         paths = save_dataset_shards(subset, tmp_path, n_shards=3)
         paths[1].unlink()
-        with pytest.raises(CorpusError, match="missing shard"):
+        with pytest.raises(CorpusError) as excinfo:
             load_dataset_shards(tmp_path)
+        message = str(excinfo.value)
+        assert "shard-0001.jsonl" in message
+        assert "manifest.json entry shards[1]" in message
 
-    def test_count_mismatch_detected(self, dataset, tmp_path):
+    def test_tampered_shard_refused_by_digest(self, dataset, tmp_path):
         subset = dataset.sample(6, seed=13)
         paths = save_dataset_shards(subset, tmp_path, n_shards=2)
+        lines = paths[0].read_text().splitlines()
+        paths[0].write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(CorpusError) as excinfo:
+            load_dataset_shards(tmp_path)
+        message = str(excinfo.value)
+        assert "shard digest mismatch" in message
+        assert "digests[0]" in message
+
+    def test_manifest_digests_cover_every_shard(self, dataset, tmp_path):
+        import hashlib
+        import json
+
+        subset = dataset.sample(6, seed=13)
+        paths = save_dataset_shards(subset, tmp_path, n_shards=3)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["digests"] == [
+            hashlib.sha256(path.read_bytes()).hexdigest() for path in paths
+        ]
+
+    def test_old_manifest_without_digests_still_loads(self, dataset, tmp_path):
+        import json
+
+        subset = dataset.sample(6, seed=13)
+        paths = save_dataset_shards(subset, tmp_path, n_shards=2)
+        manifest_path = tmp_path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["digests"]
+        manifest_path.write_text(json.dumps(manifest))
+        loaded = load_dataset_shards(tmp_path)
+        assert [b.bug_id for b in loaded] == [b.bug_id for b in subset]
+        # ...and the count check still guards it against truncation.
         lines = paths[0].read_text().splitlines()
         paths[0].write_text("\n".join(lines[:-1]) + "\n")
         with pytest.raises(CorpusError, match="manifest says"):
