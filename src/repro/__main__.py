@@ -400,7 +400,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     import repro
     from repro.staticanalysis import (
+        AnalysisReport,
         Analyzer,
+        Finding,
         Severity,
         apply_baseline,
         load_baseline,
@@ -413,6 +415,40 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if not paths:
         paths = [pathlib.Path(repro.__file__).parent]
     report = Analyzer().run(paths)
+
+    if args.interprocedural:
+        from repro.staticanalysis.dataflow import run_interprocedural
+
+        cache_root = (
+            None
+            if args.summary_cache == "none"
+            else pathlib.Path(args.summary_cache)
+        )
+        result = run_interprocedural(
+            paths, cache_root=cache_root, jobs=args.jobs
+        )
+        merged = sorted(
+            report.findings + result.report.findings, key=Finding.sort_key
+        )
+        report = AnalysisReport(
+            root=report.root,
+            findings=merged,
+            modules_scanned=report.modules_scanned,
+        )
+        stats = result.stats
+        print(
+            f"interprocedural: {stats['functions']} functions, "
+            f"{stats['resolved_edges']} resolved edges, summary cache "
+            f"{stats['cache_hits']} hit(s) / {stats['cache_misses']} "
+            f"miss(es), jobs={stats['jobs']}",
+            file=sys.stderr,
+        )
+        if args.spans_out:
+            from repro.observability import spans_to_jsonl
+
+            pathlib.Path(args.spans_out).write_text(
+                spans_to_jsonl(result.spans), encoding="utf-8"
+            )
 
     baseline_path = (
         None if args.baseline == "none" else pathlib.Path(args.baseline)
@@ -798,6 +834,18 @@ def build_parser() -> argparse.ArgumentParser:
                    default="error",
                    help="exit 1 if any unsuppressed finding is at or above "
                         "this severity")
+    p.add_argument("--interprocedural", action="store_true",
+                   help="also run the dataflow.* detectors over a "
+                        "project-wide call graph with taint propagation")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for summary extraction "
+                        "(reports are byte-identical for any value)")
+    p.add_argument("--summary-cache", default="benchmarks/artifacts/cache",
+                   help="ArtifactCache root for content-keyed module "
+                        "summaries; 'none' disables caching")
+    p.add_argument("--spans-out",
+                   help="write the per-phase/per-worker span tree of the "
+                        "interprocedural run to this JSONL file")
     p.add_argument("--smells", action="store_true",
                    help="also extract a CodeModel and run the Fig-8 smell "
                         "detectors over it")

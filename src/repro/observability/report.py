@@ -94,14 +94,14 @@ def collect_run(root: str | Path) -> RunReport:
     for path in journals:
         try:
             report.traces[path] = spans_from_journal(path)
-        except (JournalError, ObservabilityError) as exc:
+        except (JournalError, ObservabilityError) as exc:  # sdnlint: disable=dataflow.unpriced-exception (skips land in report.skipped, rendered and serialized)
             report.skipped.append((path, str(exc)))
     for path in metric_files:
         try:
             report.metrics[path] = MetricsRegistry.from_jsonl(
                 path.read_text(encoding="utf-8")
             )
-        except ObservabilityError as exc:
+        except ObservabilityError as exc:  # sdnlint: disable=dataflow.unpriced-exception (skips land in report.skipped, rendered and serialized)
             report.skipped.append((path, str(exc)))
     return report
 

@@ -136,6 +136,12 @@ DEFAULT_GATES: tuple[GateRule, ...] = (
     GateRule("streaming_ingest", "dead_lettered", DIRECTION_LOWER, 0.0),
     GateRule("streaming_ingest", "lost_upstream", DIRECTION_LOWER, 0.0),
     GateRule("streaming_ingest", "unaccounted", DIRECTION_LOWER, 0.0),
+    # Interprocedural lint: ``speedup_floor`` is min(measured, 5.0), so
+    # the committed baseline is exactly 5.0 and any warm-cache slip below
+    # the design floor fails the gate without coupling CI to raw machine
+    # speed; the self-scan must also stay clean at --fail-on error.
+    GateRule("dataflow_lint", "speedup_floor", DIRECTION_HIGHER, 0.0),
+    GateRule("dataflow_lint", "unsuppressed_errors", DIRECTION_LOWER, 0.0),
 )
 
 

@@ -175,7 +175,7 @@ class TriageBackend:
                     raise ServingError(f"unknown request kind {kind!r}")
                 outcome.values.append(value)
                 outcome.errors.append(None)
-            except BackendError as exc:
+            except BackendError as exc:  # sdnlint: disable=dataflow.unpriced-exception (per-item errors flow to the daemon, which breakers/prices them)
                 outcome.values.append(None)
                 outcome.errors.append(f"{type(exc).__name__}: {exc}")
         return outcome
@@ -194,7 +194,7 @@ class TriageBackend:
                 clean.append((index, request.payload))
                 outcome.values.append(None)
                 outcome.errors.append(None)
-            except BackendError as exc:
+            except BackendError as exc:  # sdnlint: disable=dataflow.unpriced-exception (per-item errors flow to the daemon, which breakers/prices them)
                 outcome.values.append(None)
                 outcome.errors.append(f"{type(exc).__name__}: {exc}")
         if clean:

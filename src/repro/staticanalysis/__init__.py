@@ -10,6 +10,10 @@ Two halves, both feeding the same study vocabulary:
 * **CodeModel extraction** (:mod:`repro.staticanalysis.extract`) — lowers
   real Python packages into :class:`repro.smells.CodeModel`, so the Fig-8
   architecture/design smell detectors run over this repo's own source.
+* **Interprocedural dataflow** (:mod:`repro.staticanalysis.dataflow`) —
+  a project-wide call graph, cached per-module summaries, and a taint
+  lattice powering the ``dataflow.*`` detector family
+  (``--interprocedural --jobs N``).
 
 CLI: ``python -m repro lint [paths] [--format json] [--fail-on error]``.
 """
@@ -27,6 +31,11 @@ from repro.staticanalysis.checks import (
     default_detectors,
     detector_ids,
 )
+from repro.staticanalysis.dataflow import (
+    InterproceduralAnalyzer,
+    dataflow_detector_ids,
+    run_interprocedural,
+)
 from repro.staticanalysis.engine import Analyzer, run_lint
 from repro.staticanalysis.extract import extract_code_model
 from repro.staticanalysis.loader import ModuleInfo, load_module, load_paths
@@ -40,16 +49,19 @@ __all__ = [
     "DETECTOR_TYPES",
     "Detector",
     "Finding",
+    "InterproceduralAnalyzer",
     "ModuleInfo",
     "Severity",
     "apply_baseline",
     "baseline_key",
+    "dataflow_detector_ids",
     "default_detectors",
     "detector_ids",
     "extract_code_model",
     "load_baseline",
     "load_module",
     "load_paths",
+    "run_interprocedural",
     "run_lint",
     "to_json",
     "to_text",

@@ -4,6 +4,18 @@ A baseline entry pins ``(detector, path, line)``.  Matching findings are
 *suppressed* — still reported, still counted separately — so the CI gate
 can fail on new debt while the committed debt is paid down incrementally.
 The file is versioned JSON with sorted keys so diffs review cleanly.
+
+Schema history:
+
+* **(unversioned)** — the pre-versioning shape: a bare ``entries`` list
+  with no ``version`` field.  Still loadable.
+* **v1** — added the ``version`` field.
+* **v2** — detector-ID namespacing: detector ids may carry a dotted
+  family prefix (the interprocedural family is ``dataflow.*``), and the
+  file records which families it covers under ``families`` so a v2
+  baseline written before a family existed never silently blesses that
+  family's findings.  v1 files (and unversioned files) load as covering
+  only the classic un-namespaced detectors.
 """
 
 from __future__ import annotations
@@ -15,11 +27,21 @@ from pathlib import Path
 from repro.errors import StaticAnalysisError
 from repro.staticanalysis.model import AnalysisReport, Finding
 
-_VERSION = 1
+_VERSION = 2
+
+#: Versions :func:`load_baseline` accepts.  ``None`` stands for the
+#: original unversioned shape.
+_LOADABLE_VERSIONS = (None, 1, 2)
 
 
 def baseline_key(finding: Finding) -> tuple[str, str, int]:
     return (finding.detector, finding.path, finding.line)
+
+
+def _family_of(detector_id: str) -> str:
+    """Namespace prefix of a detector id ("" for classic detectors)."""
+    head, dot, _ = detector_id.rpartition(".")
+    return head if dot else ""
 
 
 def write_baseline(report: AnalysisReport, path: str | Path) -> int:
@@ -33,8 +55,13 @@ def write_baseline(report: AnalysisReport, path: str | Path) -> int:
         {"detector": f.detector, "path": f.path, "line": f.line}
         for f in sorted(report.active, key=Finding.sort_key)
     ]
+    families = sorted(
+        {_family_of(entry["detector"]) for entry in entries}
+    )
     payload = json.dumps(
-        {"version": _VERSION, "entries": entries}, indent=2, sort_keys=True
+        {"version": _VERSION, "families": families, "entries": entries},
+        indent=2,
+        sort_keys=True,
     )
     target = Path(path)
     tmp = target.with_name(target.name + ".tmp")
@@ -47,7 +74,13 @@ def write_baseline(report: AnalysisReport, path: str | Path) -> int:
 
 
 def load_baseline(path: str | Path) -> set[tuple[str, str, int]]:
-    """Load baseline keys; a missing file is an empty baseline."""
+    """Load baseline keys; a missing file is an empty baseline.
+
+    Accepts the current v2 schema plus both legacy shapes (v1 and the
+    original unversioned file), so an existing committed baseline keeps
+    working across the upgrade; rewriting it with ``--write-baseline``
+    migrates it to v2.
+    """
     target = Path(path)
     if not target.exists():
         return set()
@@ -55,15 +88,30 @@ def load_baseline(path: str | Path) -> set[tuple[str, str, int]]:
         payload = json.loads(target.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as exc:
         raise StaticAnalysisError(f"unreadable baseline {target}: {exc}") from exc
-    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+    if not isinstance(payload, dict):
         raise StaticAnalysisError(
-            f"baseline {target}: unsupported format "
-            f"(expected version {_VERSION})"
+            f"baseline {target}: unsupported format (not an object)"
+        )
+    version = payload.get("version")
+    if version not in _LOADABLE_VERSIONS:
+        raise StaticAnalysisError(
+            f"baseline {target}: unsupported version {version!r} "
+            f"(this build reads {sorted(v for v in _LOADABLE_VERSIONS if v)} "
+            "and unversioned files)"
         )
     keys: set[tuple[str, str, int]] = set()
     for entry in payload.get("entries", ()):
         try:
-            keys.add((entry["detector"], entry["path"], int(entry["line"])))
+            detector = str(entry["detector"])
+            if version in (None, 1) and _family_of(detector):
+                # Pre-namespacing files cannot have blessed namespaced
+                # findings; a dotted id there is a corrupted entry, not
+                # debt to honour.
+                raise StaticAnalysisError(
+                    f"baseline {target}: namespaced detector id "
+                    f"{detector!r} in a v{version or 0} file"
+                )
+            keys.add((detector, entry["path"], int(entry["line"])))
         except (KeyError, TypeError, ValueError) as exc:
             raise StaticAnalysisError(
                 f"baseline {target}: malformed entry {entry!r}"

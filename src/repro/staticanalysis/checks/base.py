@@ -14,7 +14,7 @@ from repro.taxonomy import BugType, RootCause
 
 #: Inline suppression marker: ``# sdnlint: disable=<id>[,<id>...]`` or
 #: ``# sdnlint: disable-all`` on the flagged line.
-_DISABLE_RE = re.compile(r"#\s*sdnlint:\s*disable(?:=([\w,\- ]+)|-all)")
+_DISABLE_RE = re.compile(r"#\s*sdnlint:\s*disable(?:=([\w.,\- ]+)|-all)")
 
 
 @dataclass

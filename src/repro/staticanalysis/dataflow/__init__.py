@@ -1,0 +1,77 @@
+"""Interprocedural dataflow analysis for sdnlint.
+
+PR-5's detectors are single-module and syntactic: a wall-clock read that
+flows through three calls into a journaled fingerprint is invisible to
+them.  This package adds the semantic, flow-aware program model the
+paper's dominant root causes (nondeterminism, error-handling misuse,
+concurrency misuse) actually require:
+
+* :mod:`summaries` — per-function dataflow summaries: call sites with
+  per-argument feed sets, return feeds, raised/caught exception sets,
+  acquired-lock sets, and opened resource handles.  A summary is a pure
+  function of one module's source bytes, so it is content-digest
+  cacheable and computable in parallel.
+* :mod:`callgraph` — a project-wide call graph that resolves aliases
+  (package re-exports chased through ``__init__`` import tables) and
+  method dispatch (``self.m()``, ``obj.m()`` with constructor-tracked
+  receiver types).
+* :mod:`taint` — a configurable taint lattice (sources, sanitizers,
+  sinks per kind) with context-insensitive interprocedural propagation
+  over the call graph to a fixpoint.
+* :mod:`detectors` — the ``dataflow.*`` detector family keyed to
+  Table-I root causes.
+* :mod:`engine` — orchestration: digest-keyed summary caching in the
+  PR-3 :class:`~repro.parallel.cache.ArtifactCache`, summary fan-out
+  over the PR-3 :class:`~repro.parallel.executor.WorkPool` (bit-identical
+  reports for any ``jobs``), and deterministic per-worker spans via
+  :mod:`repro.observability`.
+
+CLI: ``python -m repro lint --interprocedural --jobs N``.
+"""
+
+from repro.staticanalysis.dataflow.callgraph import CallGraph, build_call_graph
+from repro.staticanalysis.dataflow.detectors import (
+    DATAFLOW_DETECTOR_TYPES,
+    dataflow_detector_ids,
+    default_dataflow_detectors,
+)
+from repro.staticanalysis.dataflow.engine import (
+    InterproceduralAnalyzer,
+    InterproceduralResult,
+    run_interprocedural,
+)
+from repro.staticanalysis.dataflow.summaries import (
+    SUMMARY_VERSION,
+    CallSite,
+    FunctionSummary,
+    ModuleSummary,
+    summarize_module,
+    summarize_source,
+)
+from repro.staticanalysis.dataflow.taint import (
+    DEFAULT_TAINT_SPEC,
+    TaintAnalysis,
+    TaintRule,
+    TaintSpec,
+)
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "DATAFLOW_DETECTOR_TYPES",
+    "DEFAULT_TAINT_SPEC",
+    "FunctionSummary",
+    "InterproceduralAnalyzer",
+    "InterproceduralResult",
+    "ModuleSummary",
+    "SUMMARY_VERSION",
+    "TaintAnalysis",
+    "TaintRule",
+    "TaintSpec",
+    "build_call_graph",
+    "dataflow_detector_ids",
+    "default_dataflow_detectors",
+    "run_interprocedural",
+    "summarize_module",
+    "summarize_source",
+]

@@ -1,0 +1,201 @@
+"""Project-wide call graph linked from per-module summaries.
+
+Linking gives the symbolic callee names recorded at summary time their
+project-level meaning:
+
+* **alias chasing** — ``repro.parallel.ArtifactCache.put`` resolves
+  through ``repro/parallel/__init__.py``'s import table to
+  ``repro.parallel.cache.ArtifactCache.put``, iteratively, so package
+  re-exports don't hide edges;
+* **method resolution** — ``Class.method`` falls back through the
+  class's resolved base chain when the method is inherited;
+* **exception hierarchy** — the class index doubles as the subtype
+  relation ``except`` clauses are checked against.
+
+Everything iterates in sorted order: the graph is a deterministic
+function of the summary set, independent of summarization order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.staticanalysis.dataflow.summaries import (
+    CallSite,
+    FunctionSummary,
+    ModuleSummary,
+)
+
+#: Alias chains longer than this are cycles or pathological; stop.
+_MAX_ALIAS_HOPS = 16
+
+#: Exception names that catch everything under the sun.
+_CATCH_ALL = {"BaseException", "Exception"}
+
+
+@dataclass
+class CallGraph:
+    """Function index + resolved call edges over a set of summaries."""
+
+    #: function qualname -> (summary of its module, its FunctionSummary).
+    functions: dict[str, tuple[ModuleSummary, FunctionSummary]] = field(
+        default_factory=dict
+    )
+    #: class qualname -> resolved base names.
+    classes: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: module name -> {local alias: fq target}.
+    imports: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: caller qualname -> list of (callsite, resolved callee or None).
+    edges: dict[str, list[tuple[CallSite, str | None]]] = field(
+        default_factory=dict
+    )
+    #: callee qualname -> sorted caller qualnames.
+    callers: dict[str, list[str]] = field(default_factory=dict)
+
+    # -- name resolution -------------------------------------------------------
+    def resolve(self, name: str) -> str | None:
+        """Resolve a dotted callee name to a known function qualname."""
+        seen: set[str] = set()
+        for _ in range(_MAX_ALIAS_HOPS):
+            if name in self.functions:
+                return name
+            method = self._resolve_method(name)
+            if method is not None:
+                return method
+            chased = self._chase_alias(name)
+            if chased is None or chased in seen:
+                return None
+            seen.add(chased)
+            name = chased
+        return None
+
+    def _resolve_method(self, name: str) -> str | None:
+        """``Class.method`` lookup, walking the base chain if inherited."""
+        head, _, attr = name.rpartition(".")
+        if not head or head not in self.classes:
+            return None
+        visited: set[str] = set()
+        queue = [head]
+        while queue:
+            cls = queue.pop(0)
+            if cls in visited:
+                continue
+            visited.add(cls)
+            candidate = f"{cls}.{attr}"
+            if candidate in self.functions:
+                return candidate
+            for base in self.classes.get(cls, ()):
+                resolved_base = self._chase_to_class(base)
+                if resolved_base is not None:
+                    queue.append(resolved_base)
+        return None
+
+    def _chase_to_class(self, name: str) -> str | None:
+        seen: set[str] = set()
+        for _ in range(_MAX_ALIAS_HOPS):
+            if name in self.classes:
+                return name
+            chased = self._chase_alias(name)
+            if chased is None or chased in seen:
+                return None
+            seen.add(chased)
+            name = chased
+        return None
+
+    def _chase_alias(self, name: str) -> str | None:
+        """One re-export hop: find the longest module prefix of ``name``
+        and map the next segment through that module's import table."""
+        parts = name.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            table = self.imports.get(module)
+            if table is None:
+                continue
+            target = table.get(parts[cut])
+            if target is None:
+                continue
+            rest = parts[cut + 1:]
+            return ".".join([target, *rest]) if rest else target
+        return None
+
+    # -- exception hierarchy ---------------------------------------------------
+    def exception_matches(self, caught: str, raised: str) -> bool:
+        """Would ``except <caught>`` trap an instance of ``raised``?"""
+        if not caught:
+            return True  # bare except
+        if caught.split(".")[-1] in _CATCH_ALL:
+            return True
+        if caught == raised:
+            return True
+        # Walk the raised type's base chain through the class index.
+        seen: set[str] = set()
+        queue = [raised]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            if current == caught or _same_tail(current, caught):
+                return True
+            cls = self._chase_to_class(current)
+            if cls is None:
+                continue
+            if cls == caught or _same_tail(cls, caught):
+                return True
+            queue.extend(self.classes.get(cls, ()))
+        return False
+
+    def catches_any(self, caught_types: tuple[str, ...], raised: str) -> bool:
+        return any(
+            self.exception_matches(caught, raised) for caught in caught_types
+        )
+
+    # -- traversal -------------------------------------------------------------
+    def callsite_targets(
+        self, qualname: str
+    ) -> list[tuple[CallSite, str | None]]:
+        return self.edges.get(qualname, [])
+
+    def sorted_functions(self) -> list[str]:
+        return sorted(self.functions)
+
+
+def _same_tail(a: str, b: str) -> bool:
+    """Fallback match on the class's own name, for unresolvable imports."""
+    return a.split(".")[-1] == b.split(".")[-1] and bool(a) and bool(b)
+
+
+def build_call_graph(summaries: list[ModuleSummary]) -> CallGraph:
+    """Link module summaries into one deterministic call graph."""
+    graph = CallGraph()
+    for module in sorted(summaries, key=lambda m: m.name):
+        graph.imports[module.name] = dict(module.imports)
+        # A base defined in the same module is summarized under its bare
+        # local name; qualify it so the inheritance walk finds it.
+        prefix = module.name + "."
+        local = {
+            qualname[len(prefix):]: qualname
+            for qualname, _ in module.classes
+        }
+        for qualname, bases in module.classes:
+            graph.classes[qualname] = tuple(
+                local.get(base, base) for base in bases
+            )
+        for function in module.functions:
+            graph.functions[function.qualname] = (module, function)
+    for qualname in graph.sorted_functions():
+        _, function = graph.functions[qualname]
+        resolved: list[tuple[CallSite, str | None]] = []
+        for site in function.callsites:
+            target = graph.resolve(site.callee)
+            if target is None and site.is_constructor:
+                ctor_class = graph._chase_to_class(site.callee)
+                if ctor_class is not None:
+                    target = graph.resolve(f"{ctor_class}.__init__")
+            resolved.append((site, target))
+            if target is not None:
+                graph.callers.setdefault(target, []).append(qualname)
+        graph.edges[qualname] = resolved
+    for callee in graph.callers:
+        graph.callers[callee] = sorted(set(graph.callers[callee]))
+    return graph

@@ -297,6 +297,12 @@ class StreamIngest:
         except StreamError as exc:
             self.dlq.put(raw, str(exc))
             state.dead_lettered += 1
+            self.ledger.record(
+                ResilienceEvent.ESCALATION,
+                "wire-parse",
+                time=self.scheduler.clock.now,
+                detail=f"poison record escalated to the DLQ: {exc}",
+            )
             return
         digest = event.digest_int()
         if digest in state.seen:
@@ -585,7 +591,7 @@ def replay_dlq(run_dir: str | Path) -> dict[str, int]:
         for entry in dlq.entries():
             try:
                 event = parse_wire(entry.raw, lenient=True)
-            except StreamError:
+            except StreamError:  # sdnlint: disable=dataflow.unpriced-exception (entry stays dead-lettered: the DLQ itself is the audit record)
                 continue  # genuinely corrupt; keep for the audit trail
             digest = event.digest_int()
             if digest in state.seen:

@@ -1,0 +1,20 @@
+"""Negative: every path acquires ALPHA before BETA — consistent order."""
+import threading
+
+ALPHA = threading.Lock()
+BETA = threading.Lock()
+
+
+def lock_beta_then_work(work):
+    with BETA:
+        work()
+
+
+def forward(work):
+    with ALPHA:
+        lock_beta_then_work(work)
+
+
+def also_forward(work):
+    with ALPHA:
+        lock_beta_then_work(work)

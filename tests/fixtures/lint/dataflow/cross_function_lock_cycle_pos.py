@@ -1,0 +1,25 @@
+"""Positive: ABBA order where each inner acquisition hides in a callee."""
+import threading
+
+ALPHA = threading.Lock()
+BETA = threading.Lock()
+
+
+def lock_beta_then_work(work):
+    with BETA:
+        work()
+
+
+def forward(work):
+    with ALPHA:
+        lock_beta_then_work(work)
+
+
+def lock_alpha_then_work(work):
+    with ALPHA:
+        work()
+
+
+def backward(work):
+    with BETA:
+        lock_alpha_then_work(work)

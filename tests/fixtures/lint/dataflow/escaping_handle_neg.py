@@ -1,0 +1,13 @@
+"""Negative: the caller closes the returned handle on every path."""
+
+
+def open_log(path):
+    return open(path, "a", encoding="utf-8")
+
+
+def note(path, message):
+    handle = open_log(path)
+    try:
+        handle.write(message + "\n")
+    finally:
+        handle.close()

@@ -1,0 +1,10 @@
+"""Positive: a helper returns an open handle the caller never closes."""
+
+
+def open_log(path):
+    return open(path, "a", encoding="utf-8")
+
+
+def note(path, message):
+    handle = open_log(path)
+    handle.write(message + "\n")

@@ -1,0 +1,22 @@
+"""Negative: the fault boundary prices the absorbed failure into a ledger."""
+
+
+class WireError(Exception):
+    pass
+
+
+def parse_record(raw):
+    if not raw:
+        raise WireError("empty record")
+    return raw.strip()
+
+
+def ingest(records, ledger):
+    kept = []
+    for raw in records:
+        try:
+            kept.append(parse_record(raw))
+        except WireError as exc:
+            ledger.record("wire-parse", detail=str(exc))
+            kept.append(None)
+    return kept

@@ -1,0 +1,21 @@
+"""Positive: the handler eats a callee's escaping exception silently."""
+
+
+class WireError(Exception):
+    pass
+
+
+def parse_record(raw):
+    if not raw:
+        raise WireError("empty record")
+    return raw.strip()
+
+
+def ingest(records):
+    kept = []
+    for raw in records:
+        try:
+            kept.append(parse_record(raw))
+        except WireError:
+            kept.append(None)
+    return kept

@@ -1,0 +1,14 @@
+"""Negative: the stream is seeded, so the persisted bytes are reproducible."""
+import json
+import random
+
+
+def draw_noise(seed):
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def persist_noise(path, seed):
+    sample = {"noise": draw_noise(seed)}
+    with open(path, "w", encoding="utf-8") as sink:
+        json.dump(sample, sink)

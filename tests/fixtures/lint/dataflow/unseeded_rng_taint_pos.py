@@ -1,0 +1,13 @@
+"""Positive: an unseeded draw is persisted into an artifact file."""
+import json
+import random
+
+
+def draw_noise():
+    return random.random()
+
+
+def persist_noise(path):
+    sample = {"noise": draw_noise()}
+    with open(path, "w", encoding="utf-8") as sink:
+        json.dump(sample, sink)

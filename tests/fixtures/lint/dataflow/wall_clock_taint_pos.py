@@ -1,0 +1,12 @@
+"""Positive: a wall-clock read flows through a helper into a fingerprint."""
+import hashlib
+import time
+
+
+def current_stamp():
+    return time.time()
+
+
+def fingerprint_run(payload):
+    moment = current_stamp()
+    return hashlib.sha256(f"{payload}@{moment}".encode("utf-8")).hexdigest()
